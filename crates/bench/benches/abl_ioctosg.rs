@@ -1,0 +1,83 @@
+//! IOctoSG ablation (§3.3 extension): per-fragment PF hints for payloads
+//! spanning NUMA nodes (the sendfile/page-cache case the paper describes
+//! but does not implement).
+
+use kernel::Cores;
+use memsys::{MemConfig, MemSystem, NodeId};
+use nic::desc::TxFragment;
+use nic::{FlowTuple, Nic, NicConfig, QueueConfig, TxDesc};
+use pcie::{Bifurcation, FabricConfig, PcieFabric, PcieGen};
+use simcore::Time;
+
+fn run(hinted: bool) -> f64 {
+    let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+    let mut fab = PcieFabric::new(FabricConfig::default());
+    let pfs = fab.add_bifurcated(&Bifurcation::x8x8_dual_socket(PcieGen::Gen3));
+    let mut nic = Nic::new(NicConfig::octonic_100g(), 2, pfs[0]);
+    let node = NodeId(0);
+    let mk = |mem: &mut MemSystem, n: NodeId| mem.alloc(n, 64 * 1024);
+    let (tx, txc, rx, rxc) = (
+        mk(&mut mem, node),
+        mk(&mut mem, node),
+        mk(&mut mem, node),
+        mk(&mut mem, node),
+    );
+    let q = nic.attach_queue(
+        QueueConfig {
+            pf: pfs[0],
+            irq_core: 0,
+            node,
+        },
+        tx,
+        txc,
+        rx,
+        rxc,
+    );
+    let flow = FlowTuple::tcp(1, 1, 2, 2);
+    // Page-cache buffers on both nodes.
+    let frag0 = mem.alloc(NodeId(0), 1 << 20);
+    let frag1 = mem.alloc(NodeId(1), 1 << 20);
+    let _ = Cores::new(28);
+    let mut last = Time::ZERO;
+    for i in 0..512u64 {
+        let desc = TxDesc {
+            fragments: vec![
+                TxFragment {
+                    addr: frag0.offset((i % 256) * 4096),
+                    len: 724,
+                    pf_hint: hinted.then_some(pfs[0]),
+                },
+                TxFragment {
+                    addr: frag1.offset((i % 256) * 4096),
+                    len: 724,
+                    pf_hint: hinted.then_some(pfs[1]),
+                },
+            ],
+            flow,
+            len: 1448,
+            tso: false,
+        };
+        nic.post_tx(q, desc);
+        let out = nic.tx_doorbell(last, last, q, &mut fab, &mut mem);
+        last = out.packets.last().map(|p| p.0).unwrap_or(last);
+    }
+    mem.counters().interconnect_bytes as f64
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    bench::header(
+        "Ablation IOctoSG",
+        "Cross-node scatter-gather payloads: interconnect bytes with and without PF hints",
+    );
+    let without = run(false);
+    let with = run(true);
+    println!(
+        "without hints: {:>12.0} interconnect bytes (half of every packet crosses)",
+        without
+    );
+    println!("with IOctoSG:  {:>12.0} interconnect bytes", with);
+    println!("reduction: {:.1}x", without / with.max(1.0));
+    println!("{}", bench::shape(with < without * 0.2));
+    bench::footer(t0);
+}

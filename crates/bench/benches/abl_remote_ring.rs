@@ -1,0 +1,30 @@
+//! §2.4 ablation: completion rings allocated device-local.
+//!
+//! "allocating R remotely to pktgen and locally to the NIC yields only a
+//! marginal performance improvement of up to 2%" — the evidence that
+//! remote DDIO would not solve NUDMA.
+
+use ioctopus::config::Placement;
+use ioctopus::experiments::pktgen;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    bench::header(
+        "Ablation §2.4",
+        "pktgen with the completion ring placed local to the (remote) device",
+    );
+    let normal = pktgen::run(Placement::Remote, 64, 8, false);
+    let devring = pktgen::run(Placement::Remote, 64, 8, true);
+    let imp = devring.rate_per_sec / normal.rate_per_sec;
+    println!(
+        "remote, CPU-local CQ:    {:.3} Mpps",
+        normal.rate_per_sec / 1e6
+    );
+    println!(
+        "remote, device-local CQ: {:.3} Mpps",
+        devring.rate_per_sec / 1e6
+    );
+    println!("improvement: {:.1}% (paper: up to 2%)", (imp - 1.0) * 100.0);
+    println!("{}", bench::shape((0.95..1.08).contains(&imp)));
+    bench::footer(t0);
+}

@@ -1,0 +1,33 @@
+//! Figure 2: NIC vs CPU bandwidth trends (motivation, §2.6).
+
+use ioctopus::experiments::trends;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    bench::header(
+        "Figure 2",
+        "The bandwidth of the NIC exceeds what a single CPU could use",
+    );
+    println!(
+        "{:>6} {:>14} {:>12} {:>7} {:>16} {:>16}",
+        "year", "single[Gb/s]", "dual[Gb/s]", "cores", "cpu@10G[Gb/s]", "cpu@513M[Gb/s]"
+    );
+    for p in trends::series() {
+        println!(
+            "{:>6} {:>14.0} {:>12.0} {:>7} {:>16.0} {:>16.1}",
+            p.year,
+            p.nic_single_gbps,
+            p.nic_dual_gbps,
+            p.cores,
+            trends::cpu_gbps(&p, trends::OPTIMISTIC_PER_CORE_GBPS),
+            trends::cpu_gbps(&p, trends::CLOUD_PER_CORE_GBPS),
+        );
+    }
+    let (optimistic, cloud) = trends::final_year_gaps();
+    println!("\nfinal-year gaps: dual-NIC/cpu@10G = {optimistic:.1}x (paper ~3.3x), dual-NIC/cpu@513M = {cloud:.0}x (paper ~32x)");
+    println!(
+        "{}",
+        bench::shape((2.5..4.5).contains(&optimistic) && (25.0..40.0).contains(&cloud))
+    );
+    bench::footer(t0);
+}

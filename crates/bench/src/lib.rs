@@ -1,0 +1,61 @@
+//! Shared helpers for the figure-regeneration bench harnesses.
+//!
+//! Each `benches/figNN_*.rs` target is a `harness = false` binary run by
+//! `cargo bench`: it re-runs the corresponding experiment from
+//! [`ioctopus::experiments`] and prints the paper's rows/series next to the
+//! paper's reference values, so `cargo bench --workspace` regenerates the
+//! entire evaluation.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Prints the standard figure header.
+pub fn header(fig: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{fig}: {caption}");
+    println!("==================================================================");
+}
+
+/// Prints the closing footer with wall-clock cost.
+pub fn footer(started: Instant) {
+    println!(
+        "------------------------------------------------ [{:.1}s wall-clock]\n",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+/// Formats a ratio as the paper's `N.NNx` annotations.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".into()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// Quick pass/attention marker for shape checks printed by the harnesses.
+pub fn shape(ok: bool) -> &'static str {
+    if ok {
+        "[shape OK]"
+    } else {
+        "[shape DEVIATES — see EXPERIMENTS.md]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.0, 1.0), "2.00x");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn shape_marker() {
+        assert_eq!(shape(true), "[shape OK]");
+        assert!(shape(false).contains("DEVIATES"));
+    }
+}

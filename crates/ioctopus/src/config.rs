@@ -1,0 +1,160 @@
+//! Experiment configuration: placements, DDIO modes, machine presets.
+
+use kernel::{CpuCosts, DriverModel, HostConfig};
+
+/// Where the server's workload runs relative to the NIC — the paper's three
+/// evaluated configurations (§5, "Evaluated configurations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Standard firmware; workload (and interrupts, and memory) on the
+    /// socket the utilized PF attaches to.
+    Local,
+    /// Standard firmware; workload on the *other* socket — every DMA
+    /// crosses the interconnect (the NUDMA configuration).
+    Remote,
+    /// The NIC acts as an octoNIC: IOctoRFS firmware + team driver. The
+    /// workload runs on the second socket (like `Remote`) but steering
+    /// makes every DMA local — the paper's headline claim is that this
+    /// matches `Local`.
+    Octopus,
+}
+
+impl Placement {
+    /// The server core the single-threaded workloads pin to.
+    ///
+    /// Core 0 is on node 0 (where PF0 attaches); core 14 is the first core
+    /// of node 1.
+    pub fn app_core(self) -> usize {
+        match self {
+            Placement::Local => 0,
+            Placement::Remote | Placement::Octopus => 14,
+        }
+    }
+
+    /// The driver model the server loads.
+    pub fn driver(self) -> DriverModel {
+        match self {
+            Placement::Local | Placement::Remote => DriverModel::Standard,
+            Placement::Octopus => DriverModel::OctoTeam,
+        }
+    }
+
+    /// Label used in figure output (the paper merges `Octopus` and `Local`
+    /// into "ioct/local" because their results coincide).
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Local => "local",
+            Placement::Remote => "remote",
+            Placement::Octopus => "ioct",
+        }
+    }
+
+    /// All three configurations.
+    pub fn all() -> [Placement; 3] {
+        [Placement::Local, Placement::Remote, Placement::Octopus]
+    }
+}
+
+/// Whether Data Direct I/O is enabled (Figure 9's `nd` suffix = disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdioMode {
+    /// DDIO on (hardware default).
+    On,
+    /// DDIO disabled in hardware on both machines (§5.1.2's `llnd`).
+    Off,
+}
+
+/// Tunables for machine assembly beyond placement.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOpts {
+    /// DDIO mode on both hosts.
+    pub ddio: DdioMode,
+    /// Disable interrupt moderation (latency experiments, §5.1.2: "To
+    /// minimize latency, we disable adaptive interrupt coalescing").
+    pub coalescing_off: bool,
+    /// §2.4 ablation: server rings allocated device-local.
+    pub server_rings_device_local: bool,
+}
+
+impl Default for BuildOpts {
+    fn default() -> Self {
+        BuildOpts {
+            ddio: DdioMode::On,
+            coalescing_off: false,
+            server_rings_device_local: false,
+        }
+    }
+}
+
+/// The server host configuration (Broadwell, Linux 4.14 cost model).
+pub fn server_host_config(p: Placement, opts: BuildOpts) -> HostConfig {
+    HostConfig {
+        costs: CpuCosts::broadwell_linux414(),
+        driver: p.driver(),
+        rings_device_local: opts.server_rings_device_local,
+        // Linux auto-tunes tcp_wmem up to 16 MB on 100 GbE; enough to ride
+        // out completion latency without idling the sender.
+        sndbuf_bytes: 16 << 20,
+        tx_bufs_per_node: 512,
+        // Pool sized to the ring so bursty multi-connection workloads
+        // (memcached SETs) never starve posted buffers.
+        rx_buffers_per_queue: 1024,
+        ..HostConfig::default()
+    }
+}
+
+/// The client host configuration.
+///
+/// The client machine runs nothing but traffic generation and uses GRO
+/// (on by default in its kernel), so its effective per-packet and copy
+/// costs are far lower than the instrumented server's; it must never be
+/// the bottleneck (§5: "The client-side of the workload uses the socket
+/// local to its NIC and so incurs no NU(D)MA effects").
+pub fn client_host_config() -> HostConfig {
+    let base = CpuCosts::broadwell_linux414();
+    HostConfig {
+        costs: CpuCosts {
+            // GRO aggregates ~45 MTU segments per stack traversal, so the
+            // effective per-packet protocol cost collapses.
+            per_pkt_stack: base.per_pkt_stack / 10,
+            per_msg_stack: base.per_msg_stack / 2,
+            per_desc: base.per_desc / 2,
+            per_tx_completion: base.per_tx_completion / 2,
+            memcpy_bytes_per_sec: 40_000_000_000,
+            ..base
+        },
+        driver: DriverModel::Standard,
+        // Plenty of Rx buffering: the traffic generator must absorb full
+        // TSO bursts without drops.
+        rx_buffers_per_queue: 4096,
+        ..HostConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_cores_and_drivers() {
+        assert_eq!(Placement::Local.app_core(), 0);
+        assert_eq!(Placement::Remote.app_core(), 14);
+        assert_eq!(Placement::Octopus.app_core(), 14);
+        assert_eq!(Placement::Local.driver(), DriverModel::Standard);
+        assert_eq!(Placement::Octopus.driver(), DriverModel::OctoTeam);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Placement::Octopus.label(), "ioct");
+        assert_eq!(Placement::Remote.label(), "remote");
+    }
+
+    #[test]
+    fn client_is_cheaper_than_server() {
+        let s = server_host_config(Placement::Local, BuildOpts::default());
+        let c = client_host_config();
+        assert!(c.costs.per_pkt_stack < s.costs.per_pkt_stack);
+        assert!(c.costs.memcpy_bytes_per_sec > s.costs.memcpy_bytes_per_sec);
+    }
+}

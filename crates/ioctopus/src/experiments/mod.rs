@@ -1,0 +1,60 @@
+//! One runner per figure of the paper's evaluation (§5).
+//!
+//! | Module | Paper figure |
+//! |---|---|
+//! | [`tcp_stream`] | Fig. 6 (Rx), Fig. 7 (Tx) |
+//! | [`pktgen`] | Fig. 8, plus the §2.4 remote-ring ablation |
+//! | [`tcp_rr`] | Fig. 9 |
+//! | [`memcached`] | Fig. 10 |
+//! | [`multicore`] | §5.1.1 multi-core throughput (described, not plotted) |
+//! | [`congestion`] | Fig. 11 (throughput), Fig. 12 (latency) |
+//! | [`colocation`] | Fig. 13 |
+//! | [`migration`] | Fig. 14 |
+//! | [`nvme_fio`] | Fig. 15, plus the OctoSSD extension |
+//! | [`trends`] | Fig. 2 (motivation) |
+//!
+//! Every runner is deterministic for a given configuration and returns a
+//! typed result; the `bench` crate's harnesses print them in the paper's
+//! row/series format.
+
+pub mod colocation;
+pub mod congestion;
+pub mod memcached;
+pub mod migration;
+pub mod multicore;
+pub mod nvme_fio;
+pub mod pktgen;
+pub mod tcp_rr;
+pub mod tcp_stream;
+pub mod trends;
+
+use simcore::Time;
+
+/// A measurement window: metrics are captured between `warmup` and `end`.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Counters reset here.
+    pub warmup: Time,
+    /// Measurement stops here.
+    pub end: Time,
+}
+
+impl Window {
+    /// A window covering the last 3/4 of `total_ms` milliseconds.
+    pub fn of_ms(total_ms: u64) -> Self {
+        Window {
+            warmup: Time::from_ms(total_ms / 4),
+            end: Time::from_ms(total_ms),
+        }
+    }
+
+    /// Window length in seconds.
+    pub fn secs(&self) -> f64 {
+        self.end.since(self.warmup).as_secs()
+    }
+}
+
+/// Converts a byte count over the window to Gb/s.
+pub fn gbps(bytes: u64, w: Window) -> f64 {
+    bytes as f64 * 8.0 / 1e9 / w.secs()
+}

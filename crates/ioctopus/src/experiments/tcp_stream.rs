@@ -1,0 +1,175 @@
+//! Figures 6 and 7: single-core netperf TCP_STREAM receive / transmit.
+//!
+//! "In these tests, the process repeatedly receives (or transmits) a
+//! fixed-size buffer from (or to) a TCP socket … both process and OS
+//! networking activity run on a single core." (§5.1.1)
+
+use kernel::NetdevId;
+use simcore::Time;
+
+use crate::config::{BuildOpts, Placement};
+use crate::netloop::{make_rx_stream, make_tx_stream, App, NetLoop};
+use crate::results::ThroughputResult;
+use crate::system::build_duplex;
+
+use super::{gbps, Window};
+
+/// Runs single-core TCP Rx at `msg`-byte buffers for `sim_ms` simulated
+/// milliseconds.
+pub fn run_rx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
+    let mut duplex = build_duplex(p, BuildOpts::default());
+    let app = make_rx_stream(
+        &mut duplex,
+        p.app_core(),
+        0,
+        NetdevId(0),
+        msg,
+        512 * 1024,
+        4242,
+    );
+    let mut nl = NetLoop::new(duplex);
+    let i = nl.add_app(App::Rx(app));
+    nl.start_apps(Time::ZERO);
+
+    let w = Window::of_ms(sim_ms);
+    nl.run(w.warmup);
+    nl.duplex.server.mem.reset_counters();
+    nl.duplex.server.cores.reset_meters();
+    let base = match nl.app(i) {
+        App::Rx(a) => a.consumed,
+        _ => unreachable!(),
+    };
+    nl.run(w.end);
+    let consumed = match nl.app(i) {
+        App::Rx(a) => a.consumed - base,
+        _ => unreachable!(),
+    };
+    let cores = nl.duplex.server.mem.topology().total_cores();
+    ThroughputResult {
+        config: p.label().to_string(),
+        x: msg as f64,
+        throughput_gbps: gbps(consumed, w),
+        membw_gbps: gbps(nl.duplex.server.mem.counters().total_dram_bytes(), w),
+        cpu_cores: nl
+            .duplex
+            .server
+            .cores
+            .utilization_of(0..cores, w.warmup, w.end),
+        rate_per_sec: consumed as f64 / msg as f64 / w.secs(),
+    }
+}
+
+/// Runs single-core TCP Tx (TSO) at `msg`-byte buffers.
+pub fn run_tx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
+    let mut duplex = build_duplex(p, BuildOpts::default());
+    let app = make_tx_stream(&mut duplex, p.app_core(), 0, NetdevId(0), msg, 4242);
+    let mut nl = NetLoop::new(duplex);
+    let i = nl.add_app(App::Tx(app));
+    nl.start_apps(Time::ZERO);
+
+    let w = Window::of_ms(sim_ms);
+    nl.run(w.warmup);
+    nl.duplex.server.mem.reset_counters();
+    nl.duplex.server.cores.reset_meters();
+    let base = match nl.app(i) {
+        App::Tx(a) => a.consumed,
+        _ => unreachable!(),
+    };
+    nl.run(w.end);
+    let consumed = match nl.app(i) {
+        App::Tx(a) => a.consumed - base,
+        _ => unreachable!(),
+    };
+    let cores = nl.duplex.server.mem.topology().total_cores();
+    ThroughputResult {
+        config: p.label().to_string(),
+        x: msg as f64,
+        throughput_gbps: gbps(consumed, w),
+        membw_gbps: gbps(nl.duplex.server.mem.counters().total_dram_bytes(), w),
+        cpu_cores: nl
+            .duplex
+            .server
+            .cores
+            .utilization_of(0..cores, w.warmup, w.end),
+        rate_per_sec: consumed as f64 / msg as f64 / w.secs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_local_beats_remote_at_large_msgs() {
+        let local = run_rx(Placement::Local, 65536, 8);
+        let remote = run_rx(Placement::Remote, 65536, 8);
+        let ratio = local.throughput_gbps / remote.throughput_gbps;
+        assert!(
+            ratio > 1.1 && ratio < 1.6,
+            "Rx 64K local/remote ratio = {ratio:.2} (paper ~1.26)"
+        );
+        // Paper: remote memory bandwidth ≈ 3x its throughput; local ≈ 0.
+        assert!(
+            remote.membw_gbps > 1.5 * remote.throughput_gbps,
+            "remote membw {:.1} vs tput {:.1}",
+            remote.membw_gbps,
+            remote.throughput_gbps
+        );
+        assert!(
+            local.membw_gbps < 0.5 * local.throughput_gbps,
+            "local membw {:.1} vs tput {:.1}",
+            local.membw_gbps,
+            local.throughput_gbps
+        );
+    }
+
+    #[test]
+    fn fig6_octopus_matches_local() {
+        let local = run_rx(Placement::Local, 65536, 8);
+        let octo = run_rx(Placement::Octopus, 65536, 8);
+        let ratio = octo.throughput_gbps / local.throughput_gbps;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "octo/local = {ratio:.3} (paper: identical)"
+        );
+    }
+
+    #[test]
+    fn fig6_single_core_is_cpu_bound() {
+        let r = run_rx(Placement::Local, 65536, 8);
+        assert!(r.cpu_cores > 0.85, "cpu = {:.2} cores", r.cpu_cores);
+        assert!(r.cpu_cores < 1.3, "cpu = {:.2} cores", r.cpu_cores);
+    }
+
+    #[test]
+    fn fig7_tx_throughputs_comparable() {
+        let local = run_tx(Placement::Local, 65536, 8);
+        let remote = run_tx(Placement::Remote, 65536, 8);
+        let ratio = local.throughput_gbps / remote.throughput_gbps;
+        assert!(
+            (0.9..=1.15).contains(&ratio),
+            "Tx local/remote = {ratio:.2} (paper: comparable)"
+        );
+        // Tx should far exceed Rx ("both configurations more than double
+        // their throughput compared to the Rx workload").
+        let rx = run_rx(Placement::Local, 65536, 8);
+        assert!(local.throughput_gbps > 1.5 * rx.throughput_gbps);
+    }
+
+    #[test]
+    fn fig7_remote_membw_tracks_throughput() {
+        let remote = run_tx(Placement::Remote, 65536, 8);
+        let ratio = remote.membw_gbps / remote.throughput_gbps;
+        assert!(
+            (0.6..=1.6).contains(&ratio),
+            "remote Tx membw/tput = {ratio:.2} (paper ~1.0)"
+        );
+        let local = run_tx(Placement::Local, 65536, 8);
+        assert!(
+            local.membw_gbps < 0.4 * local.throughput_gbps,
+            "local Tx membw {:.1} vs tput {:.1} (paper ~0)",
+            local.membw_gbps,
+            local.throughput_gbps
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 2 (motivation, §2.6): NIC bandwidth vs. what a CPU can consume.
+//!
+//! "The figure indicates that one NIC is capable of satisfying the needs of
+//! multiple CPUs, even in such a demanding scenario." We regenerate the
+//! figure's series from the same public data points the paper cites
+//! (Ethernet generations, Intel/AMD core counts) and its two per-core-rate
+//! assumptions (513 Mb/s measured in clouds; 10 Gb/s optimistic).
+
+/// One year's data point.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendPoint {
+    /// Calendar year.
+    pub year: u32,
+    /// Single-port NIC full-duplex bandwidth, Gb/s (2× line rate).
+    pub nic_single_gbps: f64,
+    /// Dual-port NIC full-duplex bandwidth, Gb/s.
+    pub nic_dual_gbps: f64,
+    /// Highest per-CPU core count shipped that year.
+    pub cores: u32,
+}
+
+/// The paper's data series (Ethernet generations 10/40/100/200/400 GbE;
+/// Intel/AMD top core counts 4→48).
+pub fn series() -> Vec<TrendPoint> {
+    let mk = |year, line_gbps: f64, cores| TrendPoint {
+        year,
+        nic_single_gbps: 2.0 * line_gbps,
+        nic_dual_gbps: 4.0 * line_gbps,
+        cores,
+    };
+    vec![
+        mk(2008, 10.0, 4),
+        mk(2010, 40.0, 8),
+        mk(2012, 40.0, 10),
+        mk(2014, 100.0, 12),
+        mk(2016, 100.0, 18),
+        mk(2017, 200.0, 24),
+        mk(2018, 200.0, 28),
+        mk(2019, 400.0, 32),
+        mk(2020, 400.0, 48),
+    ]
+}
+
+/// Cloud-measured per-core TCP rate (§2.6: "an upper bound on the per-core
+/// TCP throughput that was reported for Amazon EC2 high-spec instances").
+pub const CLOUD_PER_CORE_GBPS: f64 = 0.513;
+/// Optimistic bare-metal per-core rate ("an unusually high per-core rate of
+/// 10 Gb/s TCP").
+pub const OPTIMISTIC_PER_CORE_GBPS: f64 = 10.0;
+
+/// CPU consumption for a point under a per-core assumption.
+pub fn cpu_gbps(p: &TrendPoint, per_core: f64) -> f64 {
+    p.cores as f64 * per_core
+}
+
+/// The headline gaps the figure annotates at the final year: the dual-port
+/// NIC over the optimistic CPU line (~3.3×) and the single-port NIC over
+/// the cloud-measured CPU line (~32×).
+pub fn final_year_gaps() -> (f64, f64) {
+    let last = *series().last().expect("non-empty");
+    (
+        last.nic_dual_gbps / cpu_gbps(&last, OPTIMISTIC_PER_CORE_GBPS),
+        last.nic_single_gbps / cpu_gbps(&last, CLOUD_PER_CORE_GBPS),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_nic_exceeds_cloud_cpu_demand_everywhere() {
+        for p in series() {
+            assert!(
+                p.nic_single_gbps > cpu_gbps(&p, CLOUD_PER_CORE_GBPS),
+                "year {}: NIC {} vs CPU {}",
+                p.year,
+                p.nic_single_gbps,
+                cpu_gbps(&p, CLOUD_PER_CORE_GBPS)
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_headline_gaps_match_annotations() {
+        let (optimistic, cloud) = final_year_gaps();
+        // Paper labels: ~3.3x and ~32x.
+        assert!(
+            (2.5..4.5).contains(&optimistic),
+            "optimistic gap = {optimistic:.1}"
+        );
+        assert!((25.0..40.0).contains(&cloud), "cloud gap = {cloud:.1}");
+    }
+
+    #[test]
+    fn fig2_series_monotone_in_year() {
+        let s = series();
+        assert!(s.windows(2).all(|w| w[0].year < w[1].year));
+        assert!(s.windows(2).all(|w| w[0].cores <= w[1].cores));
+    }
+}

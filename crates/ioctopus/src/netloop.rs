@@ -1,0 +1,1126 @@
+//! The discrete-event loop driving applications over the two hosts.
+//!
+//! [`NetLoop`] owns the [`Duplex`], an event queue, and a set of
+//! applications:
+//!
+//! * [`RxStream`] — netperf TCP_STREAM receive: the client streams
+//!   fixed-size messages under a receive-window credit loop; the server
+//!   `recv`s them (Figures 6, 11, 13, 14);
+//! * [`TxStream`] — netperf TCP_STREAM transmit with TSO (Figure 7);
+//! * [`Rr`] — netperf TCP_RR / sockperf ping-pong latency (Figures 9, 12);
+//! * [`Kv`] — memcached/memslap GET/SET transactions (Figures 10, 13).
+//!
+//! STREAM antagonists and the PageRank victim ride the same queue as
+//! stepper events, so their memory traffic contends with the I/O path in
+//! simulated time — which is precisely how the paper's co-location and
+//! congestion figures arise.
+
+use std::collections::HashMap;
+
+use kernel::{HostOut, RecvOutcome, SendOutcome, SockId, ThreadId};
+use memsys::{AccessKind, PhysAddr};
+use nic::FlowTuple;
+use simcore::stats::Histogram;
+use simcore::{Dur, EventQueue, Time};
+use workloads::{KvOp, KvWorkload, PageRank, StreamAntagonist};
+
+use crate::system::{Duplex, Event, OutRouter, Side};
+
+/// Acknowledgement path delay for receive-window credits: wire latency plus
+/// the client's (GRO-batched) ACK processing.
+pub const ACK_DELAY: Dur = Dur::from_us(2);
+
+/// netperf TCP_STREAM receive (client → server).
+#[derive(Debug)]
+pub struct RxStream {
+    /// Server-side socket.
+    pub server_sock: SockId,
+    /// Server app thread.
+    pub server_thread: ThreadId,
+    /// Client-side socket.
+    pub client_sock: SockId,
+    /// Client app thread.
+    pub client_thread: ThreadId,
+    /// Message size per send/recv call.
+    pub msg: u64,
+    credit: i64,
+    client_blocked: bool,
+    /// Bytes the server application has consumed.
+    pub consumed: u64,
+}
+
+/// netperf TCP_STREAM transmit (server → client).
+#[derive(Debug)]
+pub struct TxStream {
+    /// Server-side socket.
+    pub server_sock: SockId,
+    /// Server app thread.
+    pub server_thread: ThreadId,
+    /// Client-side socket.
+    pub client_sock: SockId,
+    /// Client app thread.
+    pub client_thread: ThreadId,
+    /// Message size per send call.
+    pub msg: u64,
+    server_blocked: bool,
+    credit: i64,
+    /// Bytes the client application has consumed.
+    pub consumed: u64,
+}
+
+/// Request/response ping-pong (netperf TCP_RR, sockperf).
+#[derive(Debug)]
+pub struct Rr {
+    /// Server-side socket.
+    pub server_sock: SockId,
+    /// Server app thread.
+    pub server_thread: ThreadId,
+    /// Client-side socket.
+    pub client_sock: SockId,
+    /// Client app thread.
+    pub client_thread: ThreadId,
+    /// Message size (both directions).
+    pub msg: u64,
+    /// Transactions to run.
+    pub target: usize,
+    server_acc: u64,
+    client_acc: u64,
+    sent_at: Time,
+    /// Completed transactions.
+    pub done: usize,
+    /// Round-trip samples.
+    pub rtt: Histogram,
+}
+
+/// One memcached connection (client memslap instance ↔ server worker).
+#[derive(Debug)]
+pub struct Kv {
+    /// Server-side socket.
+    pub server_sock: SockId,
+    /// Server worker thread.
+    pub server_thread: ThreadId,
+    /// Client-side socket.
+    pub client_sock: SockId,
+    /// Client memslap thread.
+    pub client_thread: ThreadId,
+    /// Request mix generator.
+    pub workload: KvWorkload,
+    /// Value store: key → value address (on the server worker's node).
+    pub values: Vec<PhysAddr>,
+    cur_op: KvOp,
+    server_acc: u64,
+    client_acc: u64,
+    send_pending: bool,
+    /// Completed operations.
+    pub done: u64,
+    /// Per-op hash/bookkeeping CPU cost on the server.
+    pub op_cost: Dur,
+}
+
+/// An application driven by the loop.
+#[derive(Debug)]
+pub enum App {
+    /// netperf Rx.
+    Rx(RxStream),
+    /// netperf Tx.
+    Tx(TxStream),
+    /// Ping-pong latency.
+    Rr(Rr),
+    /// memcached connection.
+    Kv(Kv),
+}
+
+/// The two-host event loop.
+#[derive(Debug)]
+pub struct NetLoop {
+    /// The machines.
+    pub duplex: Duplex,
+    q: EventQueue<Event>,
+    router: OutRouter,
+    apps: Vec<App>,
+    by_server_thread: HashMap<ThreadId, usize>,
+    by_client_thread: HashMap<ThreadId, usize>,
+    /// STREAM antagonists on the server.
+    pub antagonists: Vec<StreamAntagonist>,
+    /// Optional PageRank victim on the server (Figure 13).
+    pub pagerank: Option<PageRank>,
+    /// When PageRank finished, if it did.
+    pub pagerank_done: Option<Time>,
+    sample_every: Option<Dur>,
+    /// Per-PF `(time, rx_bytes, tx_bytes)` samples of the server NIC.
+    pub samples: Vec<(Time, Vec<(u64, u64)>)>,
+    now: Time,
+}
+
+impl NetLoop {
+    /// Wraps a duplex in an empty loop.
+    pub fn new(duplex: Duplex) -> Self {
+        NetLoop {
+            duplex,
+            q: EventQueue::new(),
+            router: OutRouter::new(),
+            apps: Vec::new(),
+            by_server_thread: HashMap::new(),
+            by_client_thread: HashMap::new(),
+            antagonists: Vec::new(),
+            pagerank: None,
+            pagerank_done: None,
+            sample_every: None,
+            samples: Vec::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    /// Registers an application; returns its index.
+    pub fn add_app(&mut self, app: App) -> usize {
+        let i = self.apps.len();
+        let (st, ct) = match &app {
+            App::Rx(a) => (a.server_thread, a.client_thread),
+            App::Tx(a) => (a.server_thread, a.client_thread),
+            App::Rr(a) => (a.server_thread, a.client_thread),
+            App::Kv(a) => (a.server_thread, a.client_thread),
+        };
+        self.by_server_thread.insert(st, i);
+        self.by_client_thread.insert(ct, i);
+        self.apps.push(app);
+        i
+    }
+
+    /// Immutable access to an app.
+    pub fn app(&self, i: usize) -> &App {
+        &self.apps[i]
+    }
+
+    /// Current simulated time (last dispatched event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Enables Figure 14-style per-PF sampling.
+    pub fn enable_sampling(&mut self, every: Dur) {
+        self.sample_every = Some(every);
+        self.q.push(Time::ZERO + every, Event::Sample);
+    }
+
+    /// Schedules a thread migration (Figure 14's `sched_setaffinity`).
+    pub fn schedule_migration(&mut self, at: Time, thread: ThreadId, core: usize) {
+        self.q.push(at, Event::Migrate { thread, core });
+    }
+
+    /// Adds a STREAM antagonist and starts its loop at `start`.
+    pub fn add_antagonist(&mut self, ant: StreamAntagonist, start: Time) {
+        let idx = self.antagonists.len();
+        self.antagonists.push(ant);
+        self.q.push(start, Event::StreamStep { idx });
+    }
+
+    /// Installs the PageRank victim and starts all its workers at `start`.
+    pub fn set_pagerank(&mut self, pr: PageRank, start: Time) {
+        for i in 0..pr.thread_count() {
+            self.q.push(start, Event::PrStep { idx: i });
+        }
+        self.pagerank = Some(pr);
+    }
+
+    /// Kicks every registered application at `start`.
+    pub fn start_apps(&mut self, start: Time) {
+        for i in 0..self.apps.len() {
+            match &self.apps[i] {
+                App::Rx(_) => {
+                    // Server parks in recv, client starts streaming.
+                    let ssock = match &self.apps[i] {
+                        App::Rx(a) => a.server_sock,
+                        _ => unreachable!(),
+                    };
+                    let _ = self.duplex.server.recv(start, ssock, u64::MAX);
+                    self.pump_rx_client(i, start);
+                }
+                App::Tx(_) => {
+                    // Client parks in recv, server starts sending.
+                    let (csock, _ct) = match &self.apps[i] {
+                        App::Tx(a) => (a.client_sock, a.client_thread),
+                        _ => unreachable!(),
+                    };
+                    let _ = self.duplex.client.recv(start, csock, u64::MAX);
+                    self.pump_tx_server(i, start);
+                }
+                App::Rr(_) => {
+                    let ssock = match &self.apps[i] {
+                        App::Rr(a) => a.server_sock,
+                        _ => unreachable!(),
+                    };
+                    let _ = self.duplex.server.recv(start, ssock, u64::MAX);
+                    self.rr_client_send(i, start);
+                }
+                App::Kv(_) => {
+                    let ssock = match &self.apps[i] {
+                        App::Kv(a) => a.server_sock,
+                        _ => unreachable!(),
+                    };
+                    let _ = self.duplex.server.recv(start, ssock, u64::MAX);
+                    self.kv_client_send(i, start);
+                }
+            }
+        }
+    }
+
+    /// Runs the loop until the queue drains or simulated time passes
+    /// `until`.
+    pub fn run(&mut self, until: Time) {
+        while let Some(at) = self.q.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, ev) = self.q.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(at, ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    fn push_outs(&mut self, from: Side, outs: Vec<HostOut>) {
+        for (t, e) in self.router.route(from, outs) {
+            self.q.push(t, e);
+        }
+    }
+
+    fn dispatch(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::WireArrival {
+                to,
+                flow,
+                bytes,
+                seq,
+            } => {
+                let outs = self.duplex.host_mut(to).wire_arrival(now, flow, bytes, seq);
+                self.push_outs(to, outs);
+            }
+            Event::Irq { side, queue } => {
+                let outs = self.duplex.host_mut(side).irq(now, queue);
+                self.push_outs(side, outs);
+            }
+            Event::Wake { side, thread } => match side {
+                Side::Server => {
+                    if let Some(&i) = self.by_server_thread.get(&thread) {
+                        self.on_server_wake(i, now);
+                    }
+                }
+                Side::Client => {
+                    if let Some(&i) = self.by_client_thread.get(&thread) {
+                        self.on_client_wake(i, now);
+                    }
+                }
+            },
+            Event::Credit { app, bytes } => match &mut self.apps[app] {
+                App::Rx(a) => {
+                    a.credit += bytes as i64;
+                    a.client_blocked = false;
+                    self.pump_rx_client(app, now);
+                }
+                App::Tx(a) => {
+                    a.credit += bytes as i64;
+                    a.server_blocked = false;
+                    self.pump_tx_server(app, now);
+                }
+                App::Rr(_) | App::Kv(_) => {}
+            },
+            Event::Migrate { thread, core } => {
+                self.duplex.server.migrate_thread(now, thread, core);
+            }
+            Event::Sample => {
+                let pfs = self.duplex.server_pfs.clone();
+                let snap = pfs
+                    .iter()
+                    .map(|&pf| {
+                        (
+                            self.duplex.server.nic.rx_bytes(pf),
+                            self.duplex.server.nic.tx_bytes(pf),
+                        )
+                    })
+                    .collect();
+                self.samples.push((now, snap));
+                if let Some(every) = self.sample_every {
+                    self.q.push(now + every, Event::Sample);
+                }
+            }
+            Event::StreamStep { idx } => {
+                let server = &mut self.duplex.server;
+                let next = self.antagonists[idx].step(now, &mut server.mem, &mut server.cores);
+                self.q.push(next, Event::StreamStep { idx });
+            }
+            Event::PrStep { idx } => {
+                if let Some(pr) = &mut self.pagerank {
+                    let server = &mut self.duplex.server;
+                    match pr.step(idx, now, &mut server.mem, &mut server.cores) {
+                        Some(next) => self.q.push(next, Event::PrStep { idx }),
+                        None => {
+                            if pr.finished() && self.pagerank_done.is_none() {
+                                self.pagerank_done = Some(now);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------- Rx stream ----------
+
+    fn pump_rx_client(&mut self, i: usize, now: Time) {
+        // One send per invocation, continuation self-scheduled: chaining an
+        // unbounded send loop inside one event would run the core's clock
+        // arbitrarily far ahead of simulated time.
+        let (sock, msg, has_credit, thread) = match &self.apps[i] {
+            App::Rx(a) => (
+                a.client_sock,
+                a.msg,
+                a.credit >= a.msg as i64,
+                a.client_thread,
+            ),
+            _ => return,
+        };
+        if !has_credit {
+            return;
+        }
+        match self.duplex.client.send(now, sock, msg) {
+            SendOutcome::Sent { done_at, outs } => {
+                if let App::Rx(a) = &mut self.apps[i] {
+                    a.credit -= msg as i64;
+                }
+                self.push_outs(Side::Client, outs);
+                self.q.push(
+                    done_at,
+                    Event::Wake {
+                        side: Side::Client,
+                        thread,
+                    },
+                );
+            }
+            SendOutcome::WouldBlock => {
+                if let App::Rx(a) = &mut self.apps[i] {
+                    a.client_blocked = true;
+                }
+            }
+        }
+    }
+
+    fn rx_server_drain(&mut self, i: usize, now: Time) {
+        // One recv per wake: the continuation is self-scheduled so that
+        // interrupts and arrivals interleave at their correct times instead
+        // of an unbounded synchronous drain starving ring refills.
+        let (sock, msg, thread) = match &self.apps[i] {
+            App::Rx(a) => (a.server_sock, a.msg, a.server_thread),
+            _ => return,
+        };
+        match self.duplex.server.recv(now, sock, msg) {
+            RecvOutcome::Data { done_at, bytes } => {
+                if let App::Rx(a) = &mut self.apps[i] {
+                    a.consumed += bytes;
+                }
+                self.q
+                    .push(done_at + ACK_DELAY, Event::Credit { app: i, bytes });
+                self.q.push(
+                    done_at,
+                    Event::Wake {
+                        side: Side::Server,
+                        thread,
+                    },
+                );
+            }
+            RecvOutcome::WouldBlock => {}
+        }
+    }
+
+    // ---------- Tx stream ----------
+
+    fn pump_tx_server(&mut self, i: usize, now: Time) {
+        // One send per invocation with a self-scheduled continuation (see
+        // pump_rx_client).
+        let (sock, msg, has_credit, thread) = match &self.apps[i] {
+            App::Tx(a) => (
+                a.server_sock,
+                a.msg,
+                a.credit >= a.msg as i64,
+                a.server_thread,
+            ),
+            _ => return,
+        };
+        if !has_credit {
+            return;
+        }
+        match self.duplex.server.send(now, sock, msg) {
+            SendOutcome::Sent { done_at, outs } => {
+                if let App::Tx(a) = &mut self.apps[i] {
+                    a.credit -= msg as i64;
+                }
+                self.push_outs(Side::Server, outs);
+                self.q.push(
+                    done_at,
+                    Event::Wake {
+                        side: Side::Server,
+                        thread,
+                    },
+                );
+            }
+            SendOutcome::WouldBlock => {
+                if let App::Tx(a) = &mut self.apps[i] {
+                    a.server_blocked = true;
+                }
+            }
+        }
+    }
+
+    fn tx_client_drain(&mut self, i: usize, now: Time) {
+        // One recv per wake (see rx_server_drain). GRO-batched: each call
+        // consumes at most one TSO aggregate's worth.
+        let (sock, thread) = match &self.apps[i] {
+            App::Tx(a) => (a.client_sock, a.client_thread),
+            _ => return,
+        };
+        match self.duplex.client.recv(now, sock, 64 * 1024) {
+            RecvOutcome::Data { done_at, bytes } => {
+                if let App::Tx(a) = &mut self.apps[i] {
+                    a.consumed += bytes;
+                }
+                self.q
+                    .push(done_at + ACK_DELAY, Event::Credit { app: i, bytes });
+                self.q.push(
+                    done_at,
+                    Event::Wake {
+                        side: Side::Client,
+                        thread,
+                    },
+                );
+            }
+            RecvOutcome::WouldBlock => {}
+        }
+    }
+
+    // ---------- RR ----------
+
+    fn rr_client_send(&mut self, i: usize, now: Time) {
+        let (sock, msg, done, target) = match &self.apps[i] {
+            App::Rr(a) => (a.client_sock, a.msg, a.done, a.target),
+            _ => return,
+        };
+        if done >= target {
+            return;
+        }
+        match self.duplex.client.send(now, sock, msg) {
+            SendOutcome::Sent { done_at, outs } => {
+                if let App::Rr(a) = &mut self.apps[i] {
+                    a.sent_at = now;
+                }
+                self.push_outs(Side::Client, outs);
+                // Park in recv for the response.
+                let _ = self.duplex.client.recv(done_at, sock, u64::MAX);
+            }
+            SendOutcome::WouldBlock => {
+                // Tiny messages never block in practice; retry on wake.
+            }
+        }
+    }
+
+    fn rr_server_wake(&mut self, i: usize, now: Time) {
+        // All host calls anchor at the event's dispatch time: the calling
+        // thread's ordering is carried by its core's busy-until horizon, and
+        // reservations must never be issued at chained future times.
+        loop {
+            let sock = match &self.apps[i] {
+                App::Rr(a) => a.server_sock,
+                _ => return,
+            };
+            match self.duplex.server.recv(now, sock, u64::MAX) {
+                RecvOutcome::Data { done_at, bytes } => {
+                    let _ = done_at;
+                    let ready = {
+                        let a = match &mut self.apps[i] {
+                            App::Rr(a) => a,
+                            _ => unreachable!(),
+                        };
+                        a.server_acc += bytes;
+                        a.server_acc >= a.msg
+                    };
+                    if ready {
+                        let (sock, msg) = match &mut self.apps[i] {
+                            App::Rr(a) => {
+                                a.server_acc -= a.msg;
+                                (a.server_sock, a.msg)
+                            }
+                            _ => unreachable!(),
+                        };
+                        if let SendOutcome::Sent { outs, .. } =
+                            self.duplex.server.send(now, sock, msg)
+                        {
+                            self.push_outs(Side::Server, outs);
+                        }
+                    }
+                }
+                RecvOutcome::WouldBlock => return,
+            }
+        }
+    }
+
+    fn rr_client_wake(&mut self, i: usize, now: Time) {
+        loop {
+            let sock = match &self.apps[i] {
+                App::Rr(a) => a.client_sock,
+                _ => return,
+            };
+            match self.duplex.client.recv(now, sock, u64::MAX) {
+                RecvOutcome::Data { done_at, bytes } => {
+                    let finished = {
+                        let a = match &mut self.apps[i] {
+                            App::Rr(a) => a,
+                            _ => unreachable!(),
+                        };
+                        a.client_acc += bytes;
+                        if a.client_acc >= a.msg {
+                            a.client_acc -= a.msg;
+                            a.rtt.record(done_at.since(a.sent_at));
+                            a.done += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if finished {
+                        self.rr_client_send(i, done_at);
+                    }
+                }
+                RecvOutcome::WouldBlock => return,
+            }
+        }
+    }
+
+    // ---------- memcached ----------
+
+    fn kv_client_send(&mut self, i: usize, now: Time) {
+        let (sock, req) = match &mut self.apps[i] {
+            App::Kv(a) => {
+                if !a.send_pending {
+                    a.cur_op = a.workload.next_op();
+                }
+                (a.client_sock, a.cur_op.request_bytes())
+            }
+            _ => return,
+        };
+        match self.duplex.client.send(now, sock, req) {
+            SendOutcome::Sent { done_at, outs } => {
+                if let App::Kv(a) = &mut self.apps[i] {
+                    a.send_pending = false;
+                }
+                self.push_outs(Side::Client, outs);
+                let _ = self.duplex.client.recv(done_at, sock, u64::MAX);
+            }
+            SendOutcome::WouldBlock => {
+                // Woken by a Tx completion; retried from on_client_wake.
+                if let App::Kv(a) = &mut self.apps[i] {
+                    a.send_pending = true;
+                }
+            }
+        }
+    }
+
+    fn kv_server_wake(&mut self, i: usize, now: Time) {
+        // One bounded recv per event, self-continued at its completion time:
+        // draining an arbitrarily large request at a single instant would
+        // charge n² self-queueing on the memory links (see pump_rx_client).
+        let (sock, thread) = match &self.apps[i] {
+            App::Kv(a) => (a.server_sock, a.server_thread),
+            _ => return,
+        };
+        match self.duplex.server.recv(now, sock, 64 * 1024) {
+            RecvOutcome::Data { done_at, bytes } => {
+                let ready = {
+                    let a = match &mut self.apps[i] {
+                        App::Kv(a) => a,
+                        _ => unreachable!(),
+                    };
+                    a.server_acc += bytes;
+                    a.server_acc >= a.cur_op.request_bytes()
+                };
+                if ready {
+                    self.kv_serve(i, done_at);
+                }
+                // Re-enter recv: either more data is already buffered
+                // (continues the drain) or the thread parks for the next
+                // request.
+                self.q.push(
+                    done_at,
+                    Event::Wake {
+                        side: Side::Server,
+                        thread,
+                    },
+                );
+            }
+            RecvOutcome::WouldBlock => {}
+        }
+    }
+
+    fn kv_serve(&mut self, i: usize, now: Time) {
+        let (sock, op, op_cost, value_addr, thread) = match &mut self.apps[i] {
+            App::Kv(a) => {
+                a.server_acc -= a.cur_op.request_bytes();
+                (
+                    a.server_sock,
+                    a.cur_op,
+                    a.op_cost,
+                    a.values[a.cur_op.key() % a.values.len()],
+                    a.server_thread,
+                )
+            }
+            _ => unreachable!(),
+        };
+        let core = self.duplex.server.sched.core_of(thread);
+        let node = self.duplex.server.sched.node_of(thread);
+        // Hash lookup + item bookkeeping (core busy-until carries ordering;
+        // everything anchors at the event time `now`).
+        self.duplex.server.cores.run(core, now, op_cost);
+        let resp = op.response_bytes();
+        match op {
+            KvOp::Get { .. } => {
+                // Response payload is copied straight out of the value
+                // region, so its residency (LLC vs DRAM) is what the copy
+                // pays for.
+                if let SendOutcome::Sent { outs, .. } =
+                    self.duplex.server.send_from(now, sock, resp, value_addr)
+                {
+                    self.push_outs(Side::Server, outs);
+                }
+            }
+            KvOp::Set { .. } => {
+                // Store the new value, then acknowledge.
+                let w = self.duplex.server.mem.cpu_write(
+                    now,
+                    node,
+                    value_addr,
+                    workloads::memcached::VALUE_BYTES,
+                    AccessKind::Stream,
+                );
+                self.duplex.server.cores.run(core, now, w);
+                if let SendOutcome::Sent { outs, .. } = self.duplex.server.send(now, sock, resp) {
+                    self.push_outs(Side::Server, outs);
+                }
+            }
+        }
+    }
+
+    fn kv_client_wake(&mut self, i: usize, now: Time) {
+        // Retry a backpressured request first (woken by a Tx completion).
+        let retry = matches!(&self.apps[i], App::Kv(a) if a.send_pending);
+        if retry {
+            self.kv_client_send(i, now);
+            return;
+        }
+        // One bounded (GRO-batched) recv per event; see kv_server_wake.
+        let (sock, thread) = match &self.apps[i] {
+            App::Kv(a) => (a.client_sock, a.client_thread),
+            _ => return,
+        };
+        match self.duplex.client.recv(now, sock, 64 * 1024) {
+            RecvOutcome::Data { done_at, bytes } => {
+                let finished = {
+                    let a = match &mut self.apps[i] {
+                        App::Kv(a) => a,
+                        _ => unreachable!(),
+                    };
+                    a.client_acc += bytes;
+                    if a.client_acc >= a.cur_op.response_bytes() {
+                        a.client_acc -= a.cur_op.response_bytes();
+                        a.done += 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if finished {
+                    self.kv_client_send(i, done_at);
+                } else {
+                    self.q.push(
+                        done_at,
+                        Event::Wake {
+                            side: Side::Client,
+                            thread,
+                        },
+                    );
+                }
+            }
+            RecvOutcome::WouldBlock => {}
+        }
+    }
+
+    fn on_server_wake(&mut self, i: usize, now: Time) {
+        match &self.apps[i] {
+            App::Rx(_) => self.rx_server_drain(i, now),
+            App::Tx(_) => self.pump_tx_server(i, now),
+            App::Rr(_) => self.rr_server_wake(i, now),
+            App::Kv(_) => self.kv_server_wake(i, now),
+        }
+    }
+
+    fn on_client_wake(&mut self, i: usize, now: Time) {
+        match &self.apps[i] {
+            App::Rx(_) => self.pump_rx_client(i, now),
+            App::Tx(_) => self.tx_client_drain(i, now),
+            App::Rr(_) => self.rr_client_wake(i, now),
+            App::Kv(_) => self.kv_client_wake(i, now),
+        }
+    }
+}
+
+/// Builds an [`RxStream`] app over fresh sockets/threads.
+pub fn make_rx_stream(
+    duplex: &mut Duplex,
+    server_core: usize,
+    client_core: usize,
+    server_netdev: kernel::NetdevId,
+    msg: u64,
+    window: u64,
+    port: u16,
+) -> RxStream {
+    let st = duplex.server.spawn_thread(server_core);
+    let ct = duplex.client.spawn_thread(client_core);
+    // Inbound flow at the server: client → server.
+    let flow = FlowTuple::tcp(0x0A00_0001, port, 0x0A00_0002, 5001);
+    let ss = duplex
+        .server
+        .open_socket(Time::ZERO, st, flow, server_netdev);
+    let cs = duplex
+        .client
+        .open_socket(Time::ZERO, ct, flow.reversed(), kernel::NetdevId(0));
+    RxStream {
+        server_sock: ss,
+        server_thread: st,
+        client_sock: cs,
+        client_thread: ct,
+        msg,
+        credit: window as i64,
+        client_blocked: false,
+        consumed: 0,
+    }
+}
+
+/// Builds a [`TxStream`] app over fresh sockets/threads.
+pub fn make_tx_stream(
+    duplex: &mut Duplex,
+    server_core: usize,
+    client_core: usize,
+    server_netdev: kernel::NetdevId,
+    msg: u64,
+    port: u16,
+) -> TxStream {
+    let st = duplex.server.spawn_thread(server_core);
+    let ct = duplex.client.spawn_thread(client_core);
+    let flow = FlowTuple::tcp(0x0A00_0001, port, 0x0A00_0002, 5001);
+    let ss = duplex
+        .server
+        .open_socket(Time::ZERO, st, flow, server_netdev);
+    let cs = duplex
+        .client
+        .open_socket(Time::ZERO, ct, flow.reversed(), kernel::NetdevId(0));
+    TxStream {
+        server_sock: ss,
+        server_thread: st,
+        client_sock: cs,
+        client_thread: ct,
+        msg,
+        server_blocked: false,
+        credit: 4 * 1024 * 1024,
+        consumed: 0,
+    }
+}
+
+/// Builds an [`Rr`] app over fresh sockets/threads.
+#[allow(clippy::too_many_arguments)]
+pub fn make_rr(
+    duplex: &mut Duplex,
+    server_core: usize,
+    client_core: usize,
+    server_netdev: kernel::NetdevId,
+    msg: u64,
+    target: usize,
+    port: u16,
+    udp: bool,
+) -> Rr {
+    let st = duplex.server.spawn_thread(server_core);
+    let ct = duplex.client.spawn_thread(client_core);
+    let flow = if udp {
+        FlowTuple::udp(0x0A00_0001, port, 0x0A00_0002, 5001)
+    } else {
+        FlowTuple::tcp(0x0A00_0001, port, 0x0A00_0002, 5001)
+    };
+    let ss = duplex
+        .server
+        .open_socket(Time::ZERO, st, flow, server_netdev);
+    let cs = duplex
+        .client
+        .open_socket(Time::ZERO, ct, flow.reversed(), kernel::NetdevId(0));
+    Rr {
+        server_sock: ss,
+        server_thread: st,
+        client_sock: cs,
+        client_thread: ct,
+        msg,
+        target,
+        server_acc: 0,
+        client_acc: 0,
+        sent_at: Time::ZERO,
+        done: 0,
+        rtt: Histogram::new(),
+    }
+}
+
+/// Builds a [`Kv`] connection with `keys` values stored on the server
+/// worker's node.
+#[allow(clippy::too_many_arguments)]
+pub fn make_kv(
+    duplex: &mut Duplex,
+    server_core: usize,
+    client_core: usize,
+    server_netdev: kernel::NetdevId,
+    set_ratio: f64,
+    keys: usize,
+    port: u16,
+    seed: u64,
+) -> Kv {
+    let st = duplex.server.spawn_thread(server_core);
+    let ct = duplex.client.spawn_thread(client_core);
+    let flow = FlowTuple::tcp(0x0A00_0001, port, 0x0A00_0002, 11211);
+    let ss = duplex
+        .server
+        .open_socket(Time::ZERO, st, flow, server_netdev);
+    let cs = duplex
+        .client
+        .open_socket(Time::ZERO, ct, flow.reversed(), kernel::NetdevId(0));
+    let node = duplex.server.sched.node_of(st);
+    let values = (0..keys)
+        .map(|_| {
+            duplex
+                .server
+                .mem
+                .alloc(node, workloads::memcached::VALUE_BYTES)
+        })
+        .collect();
+    Kv {
+        server_sock: ss,
+        server_thread: st,
+        client_sock: cs,
+        client_thread: ct,
+        workload: KvWorkload::new(set_ratio, keys, seed),
+        values,
+        cur_op: KvOp::Get { key: 0 },
+        server_acc: 0,
+        client_acc: 0,
+        send_pending: false,
+        done: 0,
+        op_cost: Dur::from_us(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BuildOpts, Placement};
+    use crate::system::build_duplex;
+
+    #[test]
+    fn rx_stream_moves_data_end_to_end() {
+        let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+        let app = make_rx_stream(
+            &mut duplex,
+            14,
+            0,
+            kernel::NetdevId(0),
+            65536,
+            512 * 1024,
+            4000,
+        );
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Rx(app));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(5));
+        let consumed = match nl.app(i) {
+            App::Rx(a) => a.consumed,
+            _ => unreachable!(),
+        };
+        // At ≥10 Gb/s, 5 ms moves ≥ 6 MB.
+        assert!(consumed > 6_000_000, "consumed = {consumed}");
+        assert_eq!(nl.duplex.server.nic.rx_dropped(), 0);
+    }
+
+    #[test]
+    fn tx_stream_moves_data_end_to_end() {
+        let mut duplex = build_duplex(Placement::Local, BuildOpts::default());
+        let app = make_tx_stream(&mut duplex, 0, 0, kernel::NetdevId(0), 65536, 4001);
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Tx(app));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(5));
+        let consumed = match nl.app(i) {
+            App::Tx(a) => a.consumed,
+            _ => unreachable!(),
+        };
+        assert!(consumed > 10_000_000, "consumed = {consumed}");
+    }
+
+    #[test]
+    fn rr_completes_transactions() {
+        let mut duplex = build_duplex(
+            Placement::Local,
+            BuildOpts {
+                coalescing_off: true,
+                ..BuildOpts::default()
+            },
+        );
+        let app = make_rr(&mut duplex, 0, 0, kernel::NetdevId(0), 64, 50, 4002, false);
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Rr(app));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(50));
+        match nl.app(i) {
+            App::Rr(a) => {
+                assert_eq!(a.done, 50, "all transactions complete");
+                let mean = a.rtt.clone().mean().unwrap();
+                assert!(mean > Dur::from_us(5), "RTT {mean} too small");
+                assert!(mean < Dur::from_us(200), "RTT {mean} too large");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn kv_completes_ops() {
+        let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+        let app = make_kv(&mut duplex, 14, 0, kernel::NetdevId(0), 0.5, 8, 4003, 7);
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Kv(app));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(20));
+        match nl.app(i) {
+            App::Kv(a) => {
+                assert!(a.done > 5, "ops done = {}", a.done);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn antagonists_step_in_loop() {
+        let duplex = build_duplex(Placement::Local, BuildOpts::default());
+        let mut nl = NetLoop::new(duplex);
+        let (r, w) = StreamAntagonist::pair(2, 3, memsys::NodeId(1));
+        nl.add_antagonist(r, Time::ZERO);
+        nl.add_antagonist(w, Time::ZERO);
+        nl.run(Time::from_ms(2));
+        assert!(nl.antagonists[0].bytes_done() > 10_000_000);
+        assert!(nl.antagonists[1].bytes_done() > 10_000_000);
+    }
+
+    #[test]
+    fn sampling_produces_a_monotone_timeline() {
+        let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+        let app = make_rx_stream(&mut duplex, 14, 0, kernel::NetdevId(0), 65536, 512 * 1024, 4010);
+        let mut nl = NetLoop::new(duplex);
+        let _ = nl.add_app(App::Rx(app));
+        nl.enable_sampling(Dur::from_us(100));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(3));
+        assert!(nl.samples.len() >= 25, "got {} samples", nl.samples.len());
+        assert!(nl.samples.windows(2).all(|w| w[0].0 < w[1].0), "monotone");
+        // Cumulative per-PF byte counters never decrease.
+        for pf in 0..2 {
+            assert!(nl
+                .samples
+                .windows(2)
+                .all(|w| w[0].1[pf].0 <= w[1].1[pf].0));
+        }
+    }
+
+    #[test]
+    fn migration_mid_stream_is_transparent_to_the_app() {
+        let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+        let app = make_rx_stream(&mut duplex, 0, 0, kernel::NetdevId(0), 65536, 512 * 1024, 4011);
+        let th = app.server_thread;
+        let sock = app.server_sock;
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Rx(app));
+        nl.schedule_migration(Time::from_ms(2), th, 14);
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(5));
+        let consumed = match nl.app(i) {
+            App::Rx(a) => a.consumed,
+            _ => unreachable!(),
+        };
+        assert!(consumed > 5_000_000, "stream survived migration: {consumed}");
+        assert_eq!(nl.duplex.server.ooo_count(sock), 0);
+        assert_eq!(nl.duplex.server.nic.rx_dropped(), 0);
+    }
+
+    #[test]
+    fn rr_latency_percentiles_are_ordered() {
+        let mut duplex = build_duplex(
+            Placement::Local,
+            BuildOpts {
+                coalescing_off: true,
+                ..BuildOpts::default()
+            },
+        );
+        let app = make_rr(&mut duplex, 0, 0, kernel::NetdevId(0), 256, 80, 4012, false);
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Rr(app));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(50));
+        match nl.app(i) {
+            App::Rr(a) => {
+                let mut h = a.rtt.clone();
+                let mean = h.mean().unwrap();
+                let p90 = h.percentile(90.0).unwrap();
+                let p99 = h.percentile(99.0).unwrap();
+                assert!(p90 <= p99);
+                assert!(mean <= p99);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn udp_and_tcp_rr_both_complete() {
+        for udp in [false, true] {
+            let mut duplex = build_duplex(
+                Placement::Octopus,
+                BuildOpts {
+                    coalescing_off: true,
+                    ..BuildOpts::default()
+                },
+            );
+            let app = make_rr(&mut duplex, 14, 0, kernel::NetdevId(0), 64, 30, 4013, udp);
+            let mut nl = NetLoop::new(duplex);
+            let i = nl.add_app(App::Rr(app));
+            nl.start_apps(Time::ZERO);
+            nl.run(Time::from_ms(30));
+            match nl.app(i) {
+                App::Rr(a) => assert!(a.done >= 30, "udp={udp}: done {}", a.done),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn kv_get_and_set_roundtrip_accounting() {
+        let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+        let app = make_kv(&mut duplex, 14, 0, kernel::NetdevId(0), 0.5, 4, 4014, 99);
+        let mut nl = NetLoop::new(duplex);
+        let i = nl.add_app(App::Kv(app));
+        nl.start_apps(Time::ZERO);
+        nl.run(Time::from_ms(25));
+        match nl.app(i) {
+            App::Kv(a) => {
+                assert!(a.done >= 5, "ops: {}", a.done);
+                let (gets, sets) = a.workload.counts();
+                assert!(gets > 0 && sets > 0, "mix exercised: {gets}/{sets}");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Typed results the experiment runners return and the bench harnesses
+//! print.
+
+use serde::Serialize;
+
+/// One throughput-style measurement (Figures 6, 7, 8, 10, 11, 13).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputResult {
+    /// Configuration label ("ioct", "local", "remote", …).
+    pub config: String,
+    /// Independent variable (message size, packet size, SET %, pairs…).
+    pub x: f64,
+    /// Network throughput in Gb/s.
+    pub throughput_gbps: f64,
+    /// Server memory bandwidth (DRAM read+write) in Gb/s.
+    pub membw_gbps: f64,
+    /// Server CPU utilization in cores.
+    pub cpu_cores: f64,
+    /// Packets (or transactions) per second, where meaningful.
+    pub rate_per_sec: f64,
+}
+
+/// One latency measurement (Figures 9, 12).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyResult {
+    /// Configuration label ("ll", "rr", "llnd", …).
+    pub config: String,
+    /// Independent variable (message size or STREAM pairs).
+    pub x: f64,
+    /// Mean round-trip in microseconds.
+    pub mean_us: f64,
+    /// 90th percentile, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Transactions completed.
+    pub transactions: usize,
+}
+
+/// One Figure 14 sample point.
+#[derive(Debug, Clone, Serialize)]
+pub struct PfSample {
+    /// Sample time, seconds.
+    pub t_secs: f64,
+    /// Throughput through PF0 in Gb/s over the sample interval.
+    pub pf0_gbps: f64,
+    /// Throughput through PF1 in Gb/s over the sample interval.
+    pub pf1_gbps: f64,
+}
+
+/// Figure 14's full timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct MigrationResult {
+    /// Configuration label ("octoNIC" / "ethNIC").
+    pub config: String,
+    /// Timeline samples.
+    pub samples: Vec<PfSample>,
+    /// Out-of-order packets observed by the socket (must be 0).
+    pub ooo_packets: u64,
+    /// Packets dropped at the NIC.
+    pub dropped: u64,
+}
+
+/// Figure 13's co-location measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ColocationResult {
+    /// Configuration label.
+    pub config: String,
+    /// PageRank completion time, milliseconds (simulated).
+    pub pr_time_ms: f64,
+    /// Aggregate I/O throughput: Gb/s for netperf, K transactions/s for
+    /// memcached.
+    pub io_metric: f64,
+}
+
+/// Figure 15's normalized-throughput point.
+#[derive(Debug, Clone, Serialize)]
+pub struct NvmeResult {
+    /// Number of STREAM antagonist instances.
+    pub streams: usize,
+    /// fio throughput normalized to the antagonist-free run.
+    pub fio_normalized: f64,
+    /// STREAM aggregate bandwidth normalized to a solo instance × count.
+    pub stream_normalized: f64,
+    /// Absolute fio throughput, GB/s.
+    pub fio_gbs: f64,
+}
+
+/// Formats a fraction as the paper's "N.NNx" ratio annotations.
+pub fn ratio_label(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// A row that can be emitted to the CSV files the bench harnesses write
+/// next to their textual tables (for replotting the figures).
+pub trait CsvRow {
+    /// The CSV header line (no trailing newline).
+    fn csv_header() -> &'static str;
+    /// One CSV data line (no trailing newline).
+    fn csv_row(&self) -> String;
+}
+
+impl CsvRow for ThroughputResult {
+    fn csv_header() -> &'static str {
+        "config,x,throughput_gbps,membw_gbps,cpu_cores,rate_per_sec"
+    }
+    fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{}",
+            self.config, self.x, self.throughput_gbps, self.membw_gbps, self.cpu_cores, self.rate_per_sec
+        )
+    }
+}
+
+impl CsvRow for LatencyResult {
+    fn csv_header() -> &'static str {
+        "config,x,mean_us,p90_us,p99_us,transactions"
+    }
+    fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{}",
+            self.config, self.x, self.mean_us, self.p90_us, self.p99_us, self.transactions
+        )
+    }
+}
+
+impl CsvRow for PfSample {
+    fn csv_header() -> &'static str {
+        "t_secs,pf0_gbps,pf1_gbps"
+    }
+    fn csv_row(&self) -> String {
+        format!("{},{},{}", self.t_secs, self.pf0_gbps, self.pf1_gbps)
+    }
+}
+
+impl CsvRow for NvmeResult {
+    fn csv_header() -> &'static str {
+        "streams,fio_normalized,stream_normalized,fio_gbs"
+    }
+    fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{}",
+            self.streams, self.fio_normalized, self.stream_normalized, self.fio_gbs
+        )
+    }
+}
+
+/// Writes `rows` to `<workspace>/target/figures/<name>.csv`; best-effort
+/// (figure regeneration must not fail on a read-only filesystem). Returns
+/// the path written, if any.
+pub fn write_csv<T: CsvRow>(name: &str, rows: &[T]) -> Option<std::path::PathBuf> {
+    // Anchor at the workspace root (the bench binaries run with the
+    // package directory as CWD): walk up to the first Cargo.lock.
+    let mut root = std::env::current_dir().ok()?;
+    while !root.join("Cargo.lock").exists() {
+        if !root.pop() {
+            root = std::env::current_dir().ok()?;
+            break;
+        }
+    }
+    let dir = root.join("target").join("figures");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::from(T::csv_header());
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.csv_row());
+        out.push('\n');
+    }
+    std::fs::write(&path, out).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rows_are_well_formed() {
+        let t = ThroughputResult {
+            config: "ioct".into(),
+            x: 64.0,
+            throughput_gbps: 1.5,
+            membw_gbps: 0.5,
+            cpu_cores: 1.0,
+            rate_per_sec: 2.0,
+        };
+        assert_eq!(
+            ThroughputResult::csv_header().split(',').count(),
+            t.csv_row().split(',').count()
+        );
+        let s = PfSample { t_secs: 1.0, pf0_gbps: 2.0, pf1_gbps: 3.0 };
+        assert_eq!(s.csv_row(), "1,2,3");
+    }
+
+    #[test]
+    fn results_construct() {
+        let t = ThroughputResult {
+            config: "ioct".into(),
+            x: 64.0,
+            throughput_gbps: 1.0,
+            membw_gbps: 0.0,
+            cpu_cores: 1.0,
+            rate_per_sec: 1e6,
+        };
+        assert_eq!(t.config, "ioct");
+        let l = LatencyResult {
+            config: "ll".into(),
+            x: 64.0,
+            mean_us: 20.0,
+            p90_us: 25.0,
+            p99_us: 30.0,
+            transactions: 100,
+        };
+        assert!(l.mean_us <= l.p90_us);
+    }
+}

@@ -1,0 +1,282 @@
+//! Machine assembly: the back-to-back server/client pair of §5.
+//!
+//! * **Server**: 2× 14-core Broadwell, Mellanox 100 Gb/s NIC "with a
+//!   bifurcated PCIe interface" — two x8 endpoints, one per socket. With
+//!   standard firmware it appears "as two NICs, each connected to a
+//!   different CPU"; loading the IOctopus firmware turns it into an
+//!   octoNIC (§4.1, §5).
+//! * **Client**: identical CPUs, "equipped with a 100 Gb/s Mellanox
+//!   ConnectX-4 NIC" — a single x16 endpoint on node 0, apps pinned local.
+
+use kernel::Host;
+use memsys::{MemConfig, MemSystem, NodeId};
+use nic::{FlowTuple, Nic, NicConfig, QueueId};
+use pcie::{Bifurcation, FabricConfig, PcieFabric, PcieGen, PfId};
+use simcore::{Dur, Time};
+
+use kernel::{HostOut, ThreadId};
+
+use crate::config::{client_host_config, server_host_config, BuildOpts, DdioMode, Placement};
+
+/// Which machine an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The instrumented server.
+    Server,
+    /// The traffic-generating client.
+    Client,
+}
+
+impl Side {
+    /// The opposite machine.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Server => Side::Client,
+            Side::Client => Side::Server,
+        }
+    }
+}
+
+/// Events of the two-host discrete-event loop.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// A wire packet reaches `to`'s NIC.
+    WireArrival {
+        /// Receiving machine.
+        to: Side,
+        /// Flow as seen by the receiver (its inbound tuple).
+        flow: FlowTuple,
+        /// Payload bytes.
+        bytes: u64,
+        /// Per-flow sequence number.
+        seq: u64,
+    },
+    /// MSI-X fires on `side`.
+    Irq {
+        /// Machine.
+        side: Side,
+        /// Queue to service.
+        queue: QueueId,
+    },
+    /// A blocked thread resumes on `side`.
+    Wake {
+        /// Machine.
+        side: Side,
+        /// Thread.
+        thread: ThreadId,
+    },
+    /// Receive-window credit returned to app `app`'s sender.
+    Credit {
+        /// Application index in the loop.
+        app: usize,
+        /// Bytes consumed by the receiver.
+        bytes: u64,
+    },
+    /// `sched_setaffinity` of a server thread (Figure 14).
+    Migrate {
+        /// Thread to move.
+        thread: ThreadId,
+        /// Destination core.
+        core: usize,
+    },
+    /// Periodic per-PF throughput sampling (Figure 14).
+    Sample,
+    /// One STREAM-antagonist loop iteration.
+    StreamStep {
+        /// Antagonist index.
+        idx: usize,
+    },
+    /// One PageRank worker chunk (Figure 13).
+    PrStep {
+        /// Worker index.
+        idx: usize,
+    },
+}
+
+/// The two machines, wired back-to-back.
+#[derive(Debug)]
+pub struct Duplex {
+    /// The instrumented server.
+    pub server: Host,
+    /// The traffic generator.
+    pub client: Host,
+    /// Server NIC endpoints (PF0 on node 0, PF1 on node 1).
+    pub server_pfs: Vec<PfId>,
+    /// Client NIC endpoint.
+    pub client_pfs: Vec<PfId>,
+}
+
+impl Duplex {
+    /// The host for `side`.
+    pub fn host_mut(&mut self, side: Side) -> &mut Host {
+        match side {
+            Side::Server => &mut self.server,
+            Side::Client => &mut self.client,
+        }
+    }
+
+    /// Read access to the host for `side`.
+    pub fn host(&self, side: Side) -> &Host {
+        match side {
+            Side::Server => &self.server,
+            Side::Client => &self.client,
+        }
+    }
+}
+
+/// Builds the §5 testbed in the given placement.
+pub fn build_duplex(p: Placement, opts: BuildOpts) -> Duplex {
+    // ---- Server ----
+    let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+    if opts.ddio == DdioMode::Off {
+        mem.set_ddio(false);
+    }
+    let mut fabric = PcieFabric::new(FabricConfig::default());
+    let server_pfs = fabric.add_bifurcated(&Bifurcation::x8x8_dual_socket(PcieGen::Gen3));
+    let mut nic_cfg = match p {
+        Placement::Octopus => NicConfig::octonic_100g(),
+        _ => NicConfig::standard_100g(),
+    };
+    if opts.coalescing_off {
+        nic_cfg.irq_delay = Dur::ZERO;
+    }
+    let nic = Nic::new(nic_cfg, server_pfs.len(), server_pfs[0]);
+    let server = Host::new(mem, fabric, nic, &server_pfs, server_host_config(p, opts));
+
+    // ---- Client ----
+    let mut cmem = MemSystem::new(MemConfig::dual_socket_broadwell());
+    if opts.ddio == DdioMode::Off {
+        cmem.set_ddio(false);
+    }
+    let mut cfabric = PcieFabric::new(FabricConfig::default());
+    let client_pf = cfabric.add_endpoint(NodeId(0), PcieGen::Gen3, 16);
+    let mut cnic_cfg = NicConfig::standard_100g();
+    if opts.coalescing_off {
+        cnic_cfg.irq_delay = Dur::ZERO;
+    }
+    let cnic = Nic::new(cnic_cfg, 1, client_pf);
+    let client = Host::new(cmem, cfabric, cnic, &[client_pf], client_host_config());
+
+    Duplex {
+        server,
+        client,
+        server_pfs,
+        client_pfs: vec![client_pf],
+    }
+}
+
+/// Translates [`HostOut`]s produced by `from` into loop events, assigning
+/// per-flow wire sequence numbers.
+#[derive(Debug, Default)]
+pub struct OutRouter {
+    seqs: std::collections::HashMap<(Side, FlowTuple), u64>,
+}
+
+impl OutRouter {
+    /// Creates a router with fresh sequence counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts `outs` into `(time, event)` pairs ready for the queue.
+    pub fn route(&mut self, from: Side, outs: Vec<HostOut>) -> Vec<(Time, Event)> {
+        outs.into_iter()
+            .map(|o| match o {
+                HostOut::PacketToPeer { at, flow, bytes } => {
+                    let to = from.other();
+                    let seq = self.seqs.entry((to, flow)).or_insert(0);
+                    let s = *seq;
+                    *seq += 1;
+                    (
+                        at,
+                        Event::WireArrival {
+                            to,
+                            flow,
+                            bytes,
+                            seq: s,
+                        },
+                    )
+                }
+                HostOut::Irq { at, queue } => (at, Event::Irq { side: from, queue }),
+                HostOut::Wake { at, thread } => (at, Event::Wake { side: from, thread }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::DriverModel;
+
+    #[test]
+    fn server_nic_spans_both_sockets() {
+        let d = build_duplex(Placement::Octopus, BuildOpts::default());
+        assert_eq!(d.server_pfs.len(), 2);
+        assert_eq!(d.server.fabric.node_of(d.server_pfs[0]), NodeId(0));
+        assert_eq!(d.server.fabric.node_of(d.server_pfs[1]), NodeId(1));
+        assert_eq!(d.client_pfs.len(), 1);
+    }
+
+    #[test]
+    fn placement_selects_driver() {
+        let std = build_duplex(Placement::Remote, BuildOpts::default());
+        assert_eq!(std.server.config().driver, DriverModel::Standard);
+        assert_eq!(std.server.netdev_count(), 2);
+        let octo = build_duplex(Placement::Octopus, BuildOpts::default());
+        assert_eq!(octo.server.config().driver, DriverModel::OctoTeam);
+        assert_eq!(octo.server.netdev_count(), 1);
+    }
+
+    #[test]
+    fn ddio_off_applies_to_both_hosts() {
+        let d = build_duplex(
+            Placement::Local,
+            BuildOpts {
+                ddio: DdioMode::Off,
+                ..BuildOpts::default()
+            },
+        );
+        assert!(!d.server.mem.ddio());
+        assert!(!d.client.mem.ddio());
+    }
+
+    #[test]
+    fn router_assigns_monotone_seqs_per_flow() {
+        let mut r = OutRouter::new();
+        let flow = FlowTuple::tcp(1, 2, 3, 4);
+        let outs = vec![
+            HostOut::PacketToPeer {
+                at: Time::from_us(1),
+                flow,
+                bytes: 100,
+            },
+            HostOut::PacketToPeer {
+                at: Time::from_us(2),
+                flow,
+                bytes: 100,
+            },
+        ];
+        let evs = r.route(Side::Client, outs);
+        match (&evs[0].1, &evs[1].1) {
+            (
+                Event::WireArrival {
+                    seq: a,
+                    to: Side::Server,
+                    ..
+                },
+                Event::WireArrival { seq: b, .. },
+            ) => {
+                assert_eq!(*a, 0);
+                assert_eq!(*b, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn side_other_is_involution() {
+        assert_eq!(Side::Server.other(), Side::Client);
+        assert_eq!(Side::Client.other().other(), Side::Client);
+    }
+}

@@ -1,0 +1,1311 @@
+//! The simulated host: syscalls, NAPI, XPS, ARFS callbacks, drivers.
+//!
+//! [`Host`] owns the memory system, the PCIe fabric, the NIC, the cores and
+//! the socket table, and exposes the operations the workloads and the
+//! experiment event loop drive:
+//!
+//! * [`Host::send`] / [`Host::recv`] — the application data path, charging
+//!   syscall, copy, and descriptor costs on the caller's core and issuing
+//!   doorbells;
+//! * [`Host::wire_arrival`] — a packet arriving from the peer, steered by
+//!   the NIC (MPFS → ARFS → RSS) and DMA'd into a posted buffer;
+//! * [`Host::irq`] — NAPI: drains completion queues, delivers segments to
+//!   sockets, refills Rx rings, frees Tx buffers, wakes blocked threads,
+//!   and applies deferred steering updates once the old queue is drained
+//!   (the paper's out-of-order guard, §2.3/§4.2);
+//! * [`Host::migrate_thread`] — `sched_setaffinity`, which triggers the
+//!   ARFS callback chain that, under the `OctoTeam` driver, reprograms
+//!   IOctoRFS so the flow follows the process to the local PF (§5.3).
+
+use std::collections::{HashMap, VecDeque};
+
+use memsys::{AccessKind, MemSystem, NodeId, PhysAddr};
+use nic::desc::TxFragment;
+use nic::desc::{CQE_BYTES, DESC_BYTES};
+use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc};
+use pcie::{PcieFabric, PfId};
+#[cfg(test)]
+use simcore::Dur;
+use simcore::Time;
+
+use crate::cores::Cores;
+use crate::netdev::{DriverModel, Netdev, NetdevId};
+use crate::params::CpuCosts;
+use crate::pools::BufPool;
+use crate::sched::{Sched, ThreadId};
+use crate::socket::{RxSegment, SockId, Socket, SocketTable};
+
+/// Host-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// CPU cost model.
+    pub costs: CpuCosts,
+    /// Driver managing the NIC.
+    pub driver: DriverModel,
+    /// Rx buffers allocated per queue.
+    pub rx_buffers_per_queue: usize,
+    /// Size of each Rx buffer (≥ MTU).
+    pub rx_buf_bytes: u64,
+    /// Tx kernel buffers per node.
+    pub tx_bufs_per_node: usize,
+    /// Size of each Tx kernel buffer (one TSO aggregate).
+    pub tx_buf_bytes: u64,
+    /// Socket send-buffer limit (bytes in flight to the NIC).
+    pub sndbuf_bytes: u64,
+    /// Per-socket user buffer size.
+    pub user_buf_bytes: u64,
+    /// §2.4 ablation: allocate ring/CQ memory on the *device's* node instead
+    /// of the queue's CPU node ("a response ring is allocated locally to the
+    /// device and remotely to the CPU").
+    pub rings_device_local: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            costs: CpuCosts::default(),
+            driver: DriverModel::Standard,
+            rx_buffers_per_queue: 512,
+            rx_buf_bytes: 2048,
+            tx_bufs_per_node: 256,
+            tx_buf_bytes: 64 * 1024,
+            sndbuf_bytes: 4 << 20,
+            user_buf_bytes: 1 << 20,
+            rings_device_local: false,
+        }
+    }
+}
+
+/// Events the host hands back to the experiment loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOut {
+    /// A wire packet left for the peer; arrives there at `at`.
+    PacketToPeer {
+        /// Arrival time at the peer NIC.
+        at: Time,
+        /// Flow (server→client direction).
+        flow: FlowTuple,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// An MSI-X interrupt will invoke [`Host::irq`] for `queue` at `at`.
+    Irq {
+        /// Delivery time.
+        at: Time,
+        /// Queue to service.
+        queue: QueueId,
+    },
+    /// A blocked thread becomes runnable at `at`.
+    Wake {
+        /// Wake time.
+        at: Time,
+        /// The thread to resume.
+        thread: ThreadId,
+    },
+}
+
+/// Result of [`Host::send`].
+#[derive(Debug, Clone)]
+pub enum SendOutcome {
+    /// Data queued to the NIC.
+    Sent {
+        /// When the sending core finished the syscall.
+        done_at: Time,
+        /// Follow-up events (wire packets, interrupts).
+        outs: Vec<HostOut>,
+    },
+    /// Send buffer / ring / kernel-buffer pressure: the caller blocks and is
+    /// woken by a Tx completion.
+    WouldBlock,
+}
+
+/// Result of [`Host::recv`].
+#[derive(Debug, Clone)]
+pub enum RecvOutcome {
+    /// Data copied to the user buffer.
+    Data {
+        /// When the syscall returned.
+        done_at: Time,
+        /// Bytes delivered.
+        bytes: u64,
+    },
+    /// Nothing buffered: the caller blocks and is woken by NAPI delivery.
+    WouldBlock,
+}
+
+/// The simulated server host.
+#[derive(Debug)]
+pub struct Host {
+    /// Memory system (public: harnesses read counters).
+    pub mem: MemSystem,
+    /// PCIe fabric.
+    pub fabric: PcieFabric,
+    /// The NIC.
+    pub nic: Nic,
+    /// Cores (public: harnesses read utilization).
+    pub cores: Cores,
+    /// Thread registry.
+    pub sched: Sched,
+    cfg: HostConfig,
+    sockets: SocketTable,
+    netdevs: Vec<Netdev>,
+    /// Which PF each queue rides (cached from the NIC).
+    queue_pf: Vec<PfId>,
+    queue_node: Vec<NodeId>,
+    queue_irq_core: Vec<usize>,
+    rx_pools: Vec<BufPool>,
+    tx_pools: Vec<BufPool>,
+    /// Per-queue FIFO of in-flight Tx buffers: `(kernel buffer to recycle —
+    /// `None` for zero-copy sendfile pages, socket, bytes)`.
+    tx_pending: Vec<VecDeque<(Option<PhysAddr>, SockId, u64)>>,
+    /// Sockets whose steering should move to a new queue once their old
+    /// queue drains: old queue → (socket, desired queue).
+    pending_steer: HashMap<QueueId, Vec<(SockId, QueueId)>>,
+    rx_no_socket_drops: u64,
+}
+
+impl Host {
+    /// Builds the host over an assembled machine. `pfs` are the NIC's
+    /// endpoints in PF-index order.
+    pub fn new(
+        mut mem: MemSystem,
+        fabric: PcieFabric,
+        mut nic: Nic,
+        pfs: &[PfId],
+        cfg: HostConfig,
+    ) -> Self {
+        let topo = mem.topology().clone();
+        let total_cores = topo.total_cores();
+        let cores = Cores::new(total_cores);
+        let sched = Sched::new(topo.clone());
+
+        let mut netdevs = Vec::new();
+        let mut queue_pf = Vec::new();
+        let mut queue_node = Vec::new();
+        let mut queue_irq_core = Vec::new();
+        let mut rx_pools = Vec::new();
+
+        let pf_nodes: std::collections::HashMap<PfId, NodeId> =
+            pfs.iter().map(|&pf| (pf, fabric.node_of(pf))).collect();
+        let fabric_node_of = |pf: PfId| pf_nodes[&pf];
+        let make_queue = |nic: &mut Nic,
+                          mem: &mut MemSystem,
+                          pf: PfId,
+                          core: usize,
+                          node: NodeId,
+                          queue_pf: &mut Vec<PfId>,
+                          queue_node: &mut Vec<NodeId>,
+                          queue_irq_core: &mut Vec<usize>,
+                          rx_pools: &mut Vec<BufPool>|
+         -> QueueId {
+            let entries = nic.config().ring_entries as u64;
+            // §2.4's ablation moves only the *response* (completion) rings
+            // next to the device's I/O controller; request rings stay with
+            // the CPU ("a response ring ... allocated locally to the device
+            // and remotely to the CPU").
+            let cq_node = if cfg.rings_device_local {
+                fabric_node_of(pf)
+            } else {
+                node
+            };
+            let tx = mem.alloc(node, DESC_BYTES * entries);
+            let txc = mem.alloc(cq_node, CQE_BYTES * entries * 4);
+            let rx = mem.alloc(node, DESC_BYTES * entries);
+            let rxc = mem.alloc(cq_node, CQE_BYTES * entries * 4);
+            let q = nic.attach_queue(
+                QueueConfig {
+                    pf,
+                    irq_core: core,
+                    node,
+                },
+                tx,
+                txc,
+                rx,
+                rxc,
+            );
+            queue_pf.push(pf);
+            queue_node.push(node);
+            queue_irq_core.push(core);
+            let mut pool = BufPool::new(mem, node, cfg.rx_buf_bytes, cfg.rx_buffers_per_queue);
+            // Fill the ring from the pool.
+            while let Some(buf) = pool.take() {
+                if nic
+                    .post_rx(
+                        q,
+                        RxDesc {
+                            addr: buf,
+                            len: cfg.rx_buf_bytes,
+                        },
+                    )
+                    .is_none()
+                {
+                    pool.put(buf);
+                    break;
+                }
+            }
+            rx_pools.push(pool);
+            q
+        };
+
+        match cfg.driver {
+            DriverModel::Standard => {
+                // One netdev per PF; each netdev gets a queue on every core.
+                for (i, &pf) in pfs.iter().enumerate() {
+                    let mac = MacAddr::local_admin(i as u64);
+                    nic.mpfs_mut().register_mac(mac, pf);
+                    let queue_by_core = (0..total_cores)
+                        .map(|core| {
+                            make_queue(
+                                &mut nic,
+                                &mut mem,
+                                pf,
+                                core,
+                                topo.node_of_core(core),
+                                &mut queue_pf,
+                                &mut queue_node,
+                                &mut queue_irq_core,
+                                &mut rx_pools,
+                            )
+                        })
+                        .collect();
+                    netdevs.push(Netdev { mac, queue_by_core });
+                }
+            }
+            DriverModel::OctoTeam => {
+                // One netdev over all PFs; core i's queue rides the PF local
+                // to core i's node (§4.2 "Transmit").
+                let mac = MacAddr::local_admin(0x0C70);
+                nic.mpfs_mut().register_mac(mac, pfs[0]);
+                let queue_by_core = (0..total_cores)
+                    .map(|core| {
+                        let node = topo.node_of_core(core);
+                        let pf = pfs[node.0.min(pfs.len() - 1)];
+                        make_queue(
+                            &mut nic,
+                            &mut mem,
+                            pf,
+                            core,
+                            node,
+                            &mut queue_pf,
+                            &mut queue_node,
+                            &mut queue_irq_core,
+                            &mut rx_pools,
+                        )
+                    })
+                    .collect();
+                netdevs.push(Netdev { mac, queue_by_core });
+            }
+        }
+
+        let tx_pools = (0..topo.nodes())
+            .map(|n| BufPool::new(&mut mem, NodeId(n), cfg.tx_buf_bytes, cfg.tx_bufs_per_node))
+            .collect();
+        let n_queues = queue_pf.len();
+
+        Host {
+            mem,
+            fabric,
+            nic,
+            cores,
+            sched,
+            cfg,
+            sockets: SocketTable::new(),
+            netdevs,
+            queue_pf,
+            queue_node,
+            queue_irq_core,
+            rx_pools,
+            tx_pools,
+            tx_pending: (0..n_queues).map(|_| VecDeque::new()).collect(),
+            pending_steer: HashMap::new(),
+            rx_no_socket_drops: 0,
+        }
+    }
+
+    /// The host configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// Interfaces on this host.
+    pub fn netdev_count(&self) -> usize {
+        self.netdevs.len()
+    }
+
+    /// The MAC of `nd`.
+    pub fn netdev_mac(&self, nd: NetdevId) -> MacAddr {
+        self.netdevs[nd.0].mac
+    }
+
+    /// Spawns a thread pinned to `core`.
+    pub fn spawn_thread(&mut self, core: usize) -> ThreadId {
+        self.sched.spawn(core)
+    }
+
+    /// Opens a socket owned by `thread`, bound to inbound flow `flow` on
+    /// interface `nd`, and installs initial steering so the flow is serviced
+    /// by the owner's queue.
+    pub fn open_socket(
+        &mut self,
+        now: Time,
+        thread: ThreadId,
+        flow: FlowTuple,
+        nd: NetdevId,
+    ) -> SockId {
+        let core = self.sched.core_of(thread);
+        let node = self.sched.node_of(thread);
+        let user_buf = self.mem.alloc(node, self.cfg.user_buf_bytes);
+        let sock = Socket {
+            flow,
+            owner: thread,
+            netdev: nd,
+            rx_q: VecDeque::new(),
+            rx_waiting: false,
+            tx_waiting: false,
+            tx_inflight: 0,
+            last_tx_queue: None,
+            next_seq: 0,
+            ooo_count: 0,
+            rx_bytes: 0,
+            tx_bytes: 0,
+            user_buf,
+        };
+        let id = self.sockets.insert(sock);
+        let q = self.netdevs[nd.0].queue_for_core(core);
+        self.install_steering(now, id, q);
+        id
+    }
+
+    /// Shared access to a socket (harness inspection).
+    pub fn socket(&self, id: SockId) -> &Socket {
+        self.sockets.get(id)
+    }
+
+    /// Packets dropped because no socket matched their flow.
+    pub fn rx_no_socket_drops(&self) -> u64 {
+        self.rx_no_socket_drops
+    }
+
+    /// `sched_setaffinity`: moves `thread` to `core` and queues steering
+    /// updates for its sockets (applied once their old queues drain).
+    pub fn migrate_thread(&mut self, _now: Time, thread: ThreadId, core: usize) {
+        let old_core = self.sched.migrate(thread, core);
+        if old_core == core {
+            return;
+        }
+        let socks: Vec<SockId> = self
+            .sockets
+            .ids()
+            .filter(|s| self.sockets.get(*s).owner == thread)
+            .collect();
+        for s in socks {
+            let nd = self.sockets.get(s).netdev;
+            let old_q = self.netdevs[nd.0].queue_for_core(old_core);
+            let new_q = self.netdevs[nd.0].queue_for_core(core);
+            if old_q != new_q {
+                self.pending_steer
+                    .entry(old_q)
+                    .or_default()
+                    .push((s, new_q));
+            }
+        }
+    }
+
+    /// Application `send(2)`: copies `bytes` from the socket's user buffer
+    /// into kernel buffers, posts descriptors via XPS, and rings the
+    /// doorbell.
+    pub fn send(&mut self, now: Time, sock: SockId, bytes: u64) -> SendOutcome {
+        let src = self.sockets.get(sock).user_buf;
+        self.send_from(now, sock, bytes, src)
+    }
+
+    /// Like [`send`](Self::send) but copying from an arbitrary source
+    /// buffer (e.g. a key-value store's value region), so the copy's cache
+    /// locality reflects where the application's data actually lives.
+    pub fn send_from(&mut self, now: Time, sock: SockId, bytes: u64, src: PhysAddr) -> SendOutcome {
+        let costs = self.cfg.costs;
+        let (node, core, flow_out, netdev) = {
+            let s = self.sockets.get(sock);
+            (
+                self.sched.node_of(s.owner),
+                self.sched.core_of(s.owner),
+                s.flow.reversed(),
+                s.netdev,
+            )
+        };
+        // Back-pressure checks before doing any work.
+        if self.sockets.get(sock).tx_inflight + bytes > self.cfg.sndbuf_bytes {
+            self.sockets.get_mut(sock).tx_waiting = true;
+            return SendOutcome::WouldBlock;
+        }
+        let q = self.choose_tx_queue(sock, core, netdev);
+        let chunk_cap = self.cfg.tx_buf_bytes;
+        let n_chunks = bytes.div_ceil(chunk_cap) as usize;
+        if self.nic.tx_backlog(q) + n_chunks > self.nic.config().ring_entries
+            || self.tx_pools[node.0].available() < n_chunks
+        {
+            self.sockets.get_mut(sock).tx_waiting = true;
+            return SendOutcome::WouldBlock;
+        }
+
+        let mss = self.nic.config().mss;
+        // All memory-system reservations use the syscall's event time `now`:
+        // reserving at chained future times would push shared FIFO horizons
+        // ahead of concurrent senders and destabilize the fluid model (the
+        // same rule the NIC follows; see nic::device::Nic::tx_doorbell).
+        let mut t = self
+            .cores
+            .run(core, now, costs.syscall + costs.per_msg_stack);
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(chunk_cap);
+            left -= chunk;
+            let kbuf = self.tx_pools[node.0].take().expect("checked above");
+            // copy_from_user: issue-bound loop plus cache stalls.
+            let issue = costs.memcpy_issue(chunk);
+            let rt = Self::rclock(now, t);
+            let r = self.mem.cpu_read(
+                rt,
+                node,
+                src,
+                chunk.min(self.cfg.user_buf_bytes),
+                AccessKind::Stream,
+            );
+            let w = self
+                .mem
+                .cpu_write(rt, node, kbuf, chunk, AccessKind::Stream);
+            t = self.cores.run(core, t, issue + r + w);
+            // Build + post the descriptor.
+            t = self.cores.run(core, t, costs.per_desc);
+            let desc = TxDesc::simple(kbuf, chunk, flow_out, chunk > mss);
+            let slot = self.nic.post_tx(q, desc).expect("backlog checked above");
+            let dw = self.mem.cpu_write(
+                Self::rclock(now, t),
+                node,
+                slot,
+                DESC_BYTES,
+                AccessKind::Pointer,
+            );
+            t = self.cores.run(core, t, dw);
+            self.tx_pending[q.0].push_back((Some(kbuf), sock, chunk));
+        }
+        {
+            let s = self.sockets.get_mut(sock);
+            s.tx_inflight += bytes;
+            s.tx_bytes += bytes;
+        }
+        // Doorbell (posted MMIO).
+        t = self.cores.run(core, t, costs.doorbell);
+        let mmio = self
+            .fabric
+            .mmio_write(t, node, self.queue_pf[q.0], &self.mem);
+        let tx = self
+            .nic
+            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
+        let mut outs: Vec<HostOut> = tx
+            .packets
+            .iter()
+            .map(|&(at, flow, b)| HostOut::PacketToPeer { at, flow, bytes: b })
+            .collect();
+        if let Some((at, _core)) = tx.irq {
+            outs.push(HostOut::Irq { at, queue: q });
+        }
+        SendOutcome::Sent { done_at: t, outs }
+    }
+
+    /// `sendfile(2)`-style zero-copy transmit: the payload comes straight
+    /// from page-cache pages, which may live on **either** NUMA node (the
+    /// §3.3 corner case: "a single packet spans pages from different NUMA
+    /// nodes ... E.g., when using sendfile()"). No copy is performed; the
+    /// driver posts scatter-gather descriptors. Under the `OctoTeam` driver
+    /// each fragment carries an **IOctoSG** PF hint so the device fetches it
+    /// through the endpoint local to the fragment's node; the standard
+    /// driver has no such hint and every fragment rides the queue's PF.
+    pub fn sendfile(&mut self, now: Time, sock: SockId, pages: &[(PhysAddr, u64)]) -> SendOutcome {
+        let costs = self.cfg.costs;
+        let (node, core, flow_out, netdev) = {
+            let s = self.sockets.get(sock);
+            (
+                self.sched.node_of(s.owner),
+                self.sched.core_of(s.owner),
+                s.flow.reversed(),
+                s.netdev,
+            )
+        };
+        let total: u64 = pages.iter().map(|(_, l)| l).sum();
+        if self.sockets.get(sock).tx_inflight + total > self.cfg.sndbuf_bytes {
+            self.sockets.get_mut(sock).tx_waiting = true;
+            return SendOutcome::WouldBlock;
+        }
+        let q = self.choose_tx_queue(sock, core, netdev);
+        let qpf = self.queue_pf[q.0];
+        // Chunk page runs into TSO-sized descriptors.
+        let mut descs: Vec<Vec<TxFragment>> = Vec::new();
+        let mut cur: Vec<TxFragment> = Vec::new();
+        let mut cur_len = 0u64;
+        for &(addr, len) in pages {
+            let hint = if self.cfg.driver == DriverModel::OctoTeam {
+                // IOctoSG: fetch through the PF local to the page.
+                self.pf_on_node(addr.home())
+            } else {
+                None
+            };
+            cur.push(TxFragment {
+                addr,
+                len,
+                pf_hint: hint,
+            });
+            cur_len += len;
+            if cur_len >= self.cfg.tx_buf_bytes {
+                descs.push(std::mem::take(&mut cur));
+                cur_len = 0;
+            }
+        }
+        if !cur.is_empty() {
+            descs.push(cur);
+        }
+        if self.nic.tx_backlog(q) + descs.len() > self.nic.config().ring_entries {
+            self.sockets.get_mut(sock).tx_waiting = true;
+            return SendOutcome::WouldBlock;
+        }
+        let mss = self.nic.config().mss;
+        let mut t = self
+            .cores
+            .run(core, now, costs.syscall + costs.per_msg_stack);
+        for frags in descs {
+            let len: u64 = frags.iter().map(|f| f.len).sum();
+            let desc = TxDesc {
+                fragments: frags,
+                flow: flow_out,
+                len,
+                tso: len > mss,
+            };
+            t = self.cores.run(core, t, costs.per_desc);
+            let slot = self.nic.post_tx(q, desc).expect("backlog checked above");
+            let dw = self.mem.cpu_write(
+                Self::rclock(now, t),
+                node,
+                slot,
+                DESC_BYTES,
+                AccessKind::Pointer,
+            );
+            t = self.cores.run(core, t, dw);
+            self.tx_pending[q.0].push_back((None, sock, len));
+        }
+        {
+            let s = self.sockets.get_mut(sock);
+            s.tx_inflight += total;
+            s.tx_bytes += total;
+        }
+        t = self.cores.run(core, t, costs.doorbell);
+        let mmio = self.fabric.mmio_write(t, node, qpf, &self.mem);
+        let tx = self
+            .nic
+            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
+        let mut outs: Vec<HostOut> = tx
+            .packets
+            .iter()
+            .map(|&(at, flow, b)| HostOut::PacketToPeer { at, flow, bytes: b })
+            .collect();
+        if let Some((at, _core)) = tx.irq {
+            outs.push(HostOut::Irq { at, queue: q });
+        }
+        SendOutcome::Sent { done_at: t, outs }
+    }
+
+    /// The first NIC PF attached to `node`, if any.
+    fn pf_on_node(&self, node: NodeId) -> Option<PfId> {
+        self.queue_pf
+            .iter()
+            .copied()
+            .find(|pf| self.fabric.node_of(*pf) == node)
+    }
+
+    /// Application `recv(2)`: copies buffered segments into the user buffer,
+    /// recycling kernel buffers to their queue pools and refilling rings.
+    pub fn recv(&mut self, now: Time, sock: SockId, max: u64) -> RecvOutcome {
+        let costs = self.cfg.costs;
+        let (node, core, user_buf) = {
+            let s = self.sockets.get(sock);
+            (
+                self.sched.node_of(s.owner),
+                self.sched.core_of(s.owner),
+                s.user_buf,
+            )
+        };
+        let mut t = self
+            .cores
+            .run(core, now, costs.syscall + costs.per_msg_stack);
+        if self.sockets.get(sock).rx_q.is_empty() {
+            self.sockets.get_mut(sock).rx_waiting = true;
+            return RecvOutcome::WouldBlock;
+        }
+        let mut got = 0u64;
+        while got < max {
+            let seg = match self.sockets.get_mut(sock).rx_q.pop_front() {
+                Some(s) => s,
+                None => break,
+            };
+            // copy_to_user (reservation clock bounded near the event time).
+            let issue = costs.memcpy_issue(seg.bytes);
+            let rt = Self::rclock(now, t);
+            let r = self
+                .mem
+                .cpu_read(rt, node, seg.buf, seg.bytes, AccessKind::Stream);
+            let w = self.mem.cpu_write(
+                rt,
+                node,
+                user_buf,
+                seg.bytes.min(self.cfg.user_buf_bytes),
+                AccessKind::Stream,
+            );
+            t = self.cores.run(core, t, issue + r + w);
+            got += seg.bytes;
+            // Recycle the buffer and opportunistically refill the ring.
+            self.rx_pools[seg.queue.0].put(seg.buf);
+            t = self.refill_rx(now, t, core, seg.queue);
+        }
+        self.sockets.get_mut(sock).rx_bytes += got;
+        RecvOutcome::Data {
+            done_at: t,
+            bytes: got,
+        }
+    }
+
+    /// A packet from the peer hits the server NIC at `now` (wire
+    /// serialization already accounted by the caller via
+    /// [`nic::wire::Wire::send_rx`]).
+    pub fn wire_arrival(
+        &mut self,
+        now: Time,
+        flow: FlowTuple,
+        bytes: u64,
+        seq: u64,
+    ) -> Vec<HostOut> {
+        let Some(sock) = self.sockets.by_flow(&flow) else {
+            self.rx_no_socket_drops += 1;
+            return Vec::new();
+        };
+        let mac = self.netdevs[self.sockets.get(sock).netdev.0].mac;
+        match self
+            .nic
+            .on_wire_packet(now, mac, flow, bytes, seq, &mut self.fabric, &mut self.mem)
+        {
+            RxOutcome::Delivered { queue, irq, .. } => {
+                let mut outs = Vec::new();
+                if let Some((at, _core)) = irq {
+                    outs.push(HostOut::Irq { at, queue });
+                }
+                outs
+            }
+            RxOutcome::DroppedNoBuffer { .. } => Vec::new(),
+        }
+    }
+
+    /// NAPI: services `queue`'s completion queues on its IRQ core.
+    pub fn irq(&mut self, now: Time, queue: QueueId) -> Vec<HostOut> {
+        let costs = self.cfg.costs;
+        let core = self.queue_irq_core[queue.0];
+        let node = self.queue_node[queue.0];
+        let mut outs = Vec::new();
+        let mut t = self.cores.run(core, now, costs.irq_entry);
+
+        // Rx completions. NAPI paces itself with CQE *landings*: an entry
+        // the device has not yet made visible (its DMA still queued behind
+        // interconnect traffic) cannot be observed — this is how congested
+        // DMA paths slow the receive path (Figures 11/12).
+        let mut pending_landing: Option<Time> = None;
+        loop {
+            match self.nic.rx_landing(queue) {
+                Some(landed) if landed <= t => {}
+                Some(landed) => {
+                    pending_landing = Some(landed);
+                    break;
+                }
+                None => break,
+            }
+            let Some((cqe_addr, comp)) = self.nic.pop_rx_completion(queue) else {
+                break;
+            };
+            // The paper's pivotal access: reading the CQE the device just
+            // DMA-wrote. Local+DDIO = LLC hit; remote = DRAM miss (§5.1.1).
+            // (Memory reserved at the interrupt's event time; see send.)
+            let rt = Self::rclock(now, t);
+            let cq_read = self
+                .mem
+                .cpu_read(rt, node, cqe_addr, CQE_BYTES, AccessKind::Pointer);
+            let buf = comp.buffer.expect("rx completions carry buffers");
+            // Protocol processing starts with a dependent load of the
+            // packet headers — an LLC hit under DDIO, a DRAM miss when the
+            // device wrote the buffer remotely (§2.3's invalidated line L).
+            let hdr_read = self
+                .mem
+                .cpu_read(rt, node, buf.addr, 64, AccessKind::Pointer);
+            t = self
+                .cores
+                .run(core, t, cq_read + hdr_read + costs.per_pkt_stack);
+            match self.sockets.by_flow(&comp.flow) {
+                Some(sid) => {
+                    let s = self.sockets.get_mut(sid);
+                    s.note_seq(comp.seq);
+                    s.rx_q.push_back(RxSegment {
+                        buf: buf.addr,
+                        bytes: comp.bytes,
+                        queue,
+                    });
+                    if s.rx_waiting {
+                        s.rx_waiting = false;
+                        let owner = s.owner;
+                        outs.push(HostOut::Wake {
+                            at: t + costs.wake_latency,
+                            thread: owner,
+                        });
+                    }
+                }
+                None => {
+                    self.rx_no_socket_drops += 1;
+                    self.rx_pools[queue.0].put(buf.addr);
+                }
+            }
+            t = self.refill_rx(now, t, core, queue);
+        }
+
+        // Tx completions, paced by landings like Rx.
+        loop {
+            match self.nic.tx_landing(queue) {
+                Some(landed) if landed <= t => {}
+                Some(landed) => {
+                    pending_landing = Some(match pending_landing {
+                        Some(p) => p.min(landed),
+                        None => landed,
+                    });
+                    break;
+                }
+                None => break,
+            }
+            let Some((cqe_addr, comp)) = self.nic.pop_tx_completion(queue) else {
+                break;
+            };
+            let cq_read = self.mem.cpu_read(
+                Self::rclock(now, t),
+                node,
+                cqe_addr,
+                CQE_BYTES,
+                AccessKind::Pointer,
+            );
+            t = self.cores.run(core, t, cq_read + costs.per_tx_completion);
+            if let Some((kbuf, sid, bytes)) = self.tx_pending[queue.0].pop_front() {
+                debug_assert_eq!(bytes, comp.bytes);
+                if let Some(kbuf) = kbuf {
+                    self.tx_pools[kbuf.home().0].put(kbuf);
+                }
+                let s = self.sockets.get_mut(sid);
+                s.tx_inflight = s.tx_inflight.saturating_sub(bytes);
+                if s.tx_waiting {
+                    s.tx_waiting = false;
+                    let owner = s.owner;
+                    outs.push(HostOut::Wake {
+                        at: t + costs.wake_latency,
+                        thread: owner,
+                    });
+                }
+            }
+        }
+
+        if let Some(landed) = pending_landing {
+            // Un-landed completions remain: poll again when the earliest one
+            // becomes visible (plus the moderation delay, which restores
+            // batching). The irq stays disarmed — the continuation is the
+            // waker.
+            let delay = self.nic.config().irq_delay;
+            outs.push(HostOut::Irq {
+                at: (landed + delay).max(t),
+                queue,
+            });
+            return outs;
+        }
+        self.nic.rearm_irq(queue);
+        if self.nic.rx_cq_depth(queue) == 0 {
+            // Deferred steering: safe now that the old queue is fully
+            // drained ("the actual update is delayed until the original
+            // queue is drained ... to avoid out-of-order receives", §2.3).
+            if let Some(moves) = self.pending_steer.remove(&queue) {
+                for (sock, new_q) in moves {
+                    self.install_steering(t, sock, new_q);
+                }
+            }
+        } else {
+            // Completions raced in while we processed: poll again.
+            outs.push(HostOut::Irq { at: t, queue });
+        }
+        outs
+    }
+
+    /// One pktgen burst (§5.1.1 "Single-core packet throughput"): the
+    /// in-kernel generator posts `burst` descriptors that all point at the
+    /// same `pkt_bytes`-byte packet, rings the doorbell, then reaps the
+    /// completions in polling mode (pktgen does not use sockets or copies:
+    /// "repeatedly transmits the same IP packet without touching any data").
+    ///
+    /// Returns `(time the core finished the round, wire-packet events)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pktgen_round(
+        &mut self,
+        now: Time,
+        core: usize,
+        nd: NetdevId,
+        flow: FlowTuple,
+        pkt_buf: PhysAddr,
+        pkt_bytes: u64,
+        burst: usize,
+    ) -> (Time, Vec<HostOut>) {
+        let costs = self.cfg.costs;
+        let node = self.mem.topology().node_of_core(core);
+        let q = self.netdevs[nd.0].queue_for_core(core);
+        let mut t = now;
+        for _ in 0..burst {
+            let desc = TxDesc::simple(pkt_buf, pkt_bytes, flow, false);
+            let Some(slot) = self.nic.post_tx(q, desc) else {
+                break;
+            };
+            let dw = self
+                .mem
+                .cpu_write(now, node, slot, DESC_BYTES, AccessKind::Pointer);
+            t = self.cores.run(core, t, costs.pktgen_loop + dw);
+        }
+        t = self.cores.run(core, t, costs.doorbell);
+        let mmio = self
+            .fabric
+            .mmio_write(t, node, self.queue_pf[q.0], &self.mem);
+        let tx = self
+            .nic
+            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
+        let outs: Vec<HostOut> = tx
+            .packets
+            .iter()
+            .map(|&(at, f, b)| HostOut::PacketToPeer {
+                at,
+                flow: f,
+                bytes: b,
+            })
+            .collect();
+        // Polling-mode reaping: read each completion entry that has already
+        // landed. This is the access whose locality the paper pinpoints —
+        // "reading this entry from memory costs about 80 ns, which is
+        // essentially the delta between the per-packet costs of ioct/local
+        // and remote". Entries still in flight are left for a later round:
+        // pktgen overlaps posting and reaping across bursts, so the CPU
+        // never idles waiting for the NIC pipeline.
+        loop {
+            match self.nic.tx_landing(q) {
+                Some(landed) if landed <= t => {}
+                _ => break,
+            }
+            let Some((cqe_addr, _comp)) = self.nic.pop_tx_completion(q) else {
+                break;
+            };
+            let r = self.mem.cpu_read(
+                Self::rclock(now, t),
+                node,
+                cqe_addr,
+                CQE_BYTES,
+                AccessKind::Pointer,
+            );
+            t = self.cores.run(core, t, r + costs.per_tx_completion);
+        }
+        self.nic.rearm_irq(q);
+        (t, outs)
+    }
+
+    /// Per-socket out-of-order count (Figure 14 asserts zero for the
+    /// octoNIC).
+    pub fn ooo_count(&self, sock: SockId) -> u64 {
+        self.sockets.get(sock).ooo_count
+    }
+
+    /// The reservation clock for memory accesses inside a handler: tracks
+    /// the core's chain time so a batch's accesses spread realistically, but
+    /// stays within a bounded window of the dispatching event's time so
+    /// shared FIFO horizons can never run away from simulated time.
+    fn rclock(now: Time, t: Time) -> Time {
+        t.min(now + simcore::Dur::from_us(100)).max(now)
+    }
+
+    /// Installs ARFS (+ IOctoRFS under the team driver) so `flow` is
+    /// serviced by `q`.
+    fn install_steering(&mut self, now: Time, sock: SockId, q: QueueId) {
+        let flow = self.sockets.get(sock).flow;
+        let pf = self.queue_pf[q.0];
+        match self.cfg.driver {
+            DriverModel::Standard => {
+                // ARFS can move the flow between queues of the SAME PF only;
+                // the PF (and thus any NUDMA) is fixed at socket creation.
+                let nd = self.sockets.get(sock).netdev;
+                let nd_pf = self.queue_pf[self.netdevs[nd.0].queue_by_core[0].0];
+                if pf == nd_pf {
+                    self.nic.arfs_install(now, pf, flow, q);
+                }
+            }
+            DriverModel::OctoTeam => {
+                // IOctoRFS: the flow follows the process to the local PF.
+                self.nic.mpfs_mut().install_flow(flow, pf);
+                self.nic.arfs_install(now, pf, flow, q);
+            }
+        }
+    }
+
+    /// XPS queue choice with the out-of-order guard: keep using the old
+    /// queue until it has no outstanding packets (§4.2 "Transmit",
+    /// `ooo_okay`).
+    fn choose_tx_queue(&mut self, sock: SockId, core: usize, nd: NetdevId) -> QueueId {
+        let desired = self.netdevs[nd.0].queue_for_core(core);
+        let last = self.sockets.get(sock).last_tx_queue;
+        let q = match last {
+            Some(old) if old != desired => {
+                if self.nic.tx_backlog(old) > 0 || !self.tx_pending[old.0].is_empty() {
+                    old
+                } else {
+                    desired
+                }
+            }
+            _ => desired,
+        };
+        self.sockets.get_mut(sock).last_tx_queue = Some(q);
+        q
+    }
+
+    fn refill_rx(&mut self, now: Time, t: Time, core: usize, queue: QueueId) -> Time {
+        let mut t = t;
+        if let Some(buf) = self.rx_pools[queue.0].take() {
+            let len = self.cfg.rx_buf_bytes;
+            match self.nic.post_rx(queue, RxDesc { addr: buf, len }) {
+                Some(slot) => {
+                    let node = self.queue_node[queue.0];
+                    let w = self.mem.cpu_write(
+                        Self::rclock(now, t),
+                        node,
+                        slot,
+                        DESC_BYTES,
+                        AccessKind::Pointer,
+                    );
+                    t = self.cores.run(core, t, self.cfg.costs.per_desc + w);
+                }
+                None => self.rx_pools[queue.0].put(buf),
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::MemConfig;
+    use nic::NicConfig;
+    use pcie::{Bifurcation, FabricConfig, PcieGen};
+
+    fn build(driver: DriverModel) -> (Host, Vec<PfId>) {
+        let mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut fabric = PcieFabric::new(FabricConfig::default());
+        let pfs = fabric.add_bifurcated(&Bifurcation::x8x8_dual_socket(PcieGen::Gen3));
+        let nic_cfg = match driver {
+            DriverModel::Standard => NicConfig::standard_100g(),
+            DriverModel::OctoTeam => NicConfig::octonic_100g(),
+        };
+        let nic = Nic::new(nic_cfg, pfs.len(), pfs[0]);
+        let host = Host::new(
+            mem,
+            fabric,
+            nic,
+            &pfs,
+            HostConfig {
+                driver,
+                ..HostConfig::default()
+            },
+        );
+        (host, pfs)
+    }
+
+    fn client_flow(port: u16) -> FlowTuple {
+        FlowTuple::tcp(0x0A00_0001, port, 0x0A00_0002, 5001)
+    }
+
+    #[test]
+    fn standard_driver_builds_netdev_per_pf() {
+        let (host, pfs) = build(DriverModel::Standard);
+        assert_eq!(host.netdev_count(), pfs.len());
+    }
+
+    #[test]
+    fn octo_driver_builds_single_netdev() {
+        let (host, _) = build(DriverModel::OctoTeam);
+        assert_eq!(host.netdev_count(), 1);
+    }
+
+    #[test]
+    fn octo_queues_ride_local_pfs() {
+        let (host, pfs) = build(DriverModel::OctoTeam);
+        let nd = &host.netdevs[0];
+        // Core 0 (node 0) -> PF0; core 14 (node 1) -> PF1.
+        assert_eq!(host.queue_pf[nd.queue_for_core(0).0], pfs[0]);
+        assert_eq!(host.queue_pf[nd.queue_for_core(14).0], pfs[1]);
+    }
+
+    #[test]
+    fn rx_path_delivers_to_blocked_reader() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1000);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        // Reader blocks first.
+        assert!(matches!(
+            host.recv(Time::ZERO, sock, 65536),
+            RecvOutcome::WouldBlock
+        ));
+        // Packet arrives.
+        let outs = host.wire_arrival(Time::from_us(5), flow, 1448, 0);
+        let irq = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                _ => None,
+            })
+            .expect("irq scheduled");
+        let outs = host.irq(irq.0, irq.1);
+        let wake = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Wake { at, thread } => Some((*at, *thread)),
+                _ => None,
+            })
+            .expect("reader woken");
+        assert_eq!(wake.1, th);
+        // Reader resumes and gets the data.
+        match host.recv(wake.0, sock, 65536) {
+            RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(host.socket(sock).rx_bytes, 1448);
+        assert_eq!(host.ooo_count(sock), 0);
+    }
+
+    #[test]
+    fn tx_path_emits_wire_packets() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1001);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        match host.send(Time::ZERO, sock, 64 * 1024) {
+            SendOutcome::Sent { outs, .. } => {
+                let pkts: Vec<_> = outs
+                    .iter()
+                    .filter(|o| matches!(o, HostOut::PacketToPeer { .. }))
+                    .collect();
+                // 64 KiB TSO aggregate → ceil(65536/1460) MTU segments.
+                assert!(pkts.len() > 40, "got {} packets", pkts.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(host.socket(sock).tx_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn tx_inflight_released_by_completion_irq() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1002);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let outs = match host.send(Time::ZERO, sock, 1000) {
+            SendOutcome::Sent { outs, .. } => outs,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(host.socket(sock).tx_inflight, 1000);
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                _ => None,
+            })
+            .expect("tx completion irq");
+        host.irq(at, q);
+        assert_eq!(host.socket(sock).tx_inflight, 0);
+    }
+
+    #[test]
+    fn sndbuf_backpressure_blocks() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1003);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mut t = Time::ZERO;
+        let mut blocked = false;
+        for _ in 0..200 {
+            match host.send(t, sock, 64 * 1024) {
+                SendOutcome::Sent { done_at, .. } => t = done_at,
+                SendOutcome::WouldBlock => {
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            blocked,
+            "4 MiB sndbuf must backpressure without completions"
+        );
+    }
+
+    #[test]
+    fn migration_moves_steering_under_octo() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1004);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        // Initially the flow is bound to PF0 (node 0).
+        let mac = host.netdev_mac(NetdevId(0));
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0]);
+        // Migrate to a node-1 core; steering is deferred until the old
+        // queue drains, which happens at the next irq of the old queue.
+        host.migrate_thread(Time::from_ms(1), th, 14);
+        let old_q = host.netdevs[0].queue_for_core(0);
+        host.irq(Time::from_ms(1), old_q);
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1], "IOctoRFS moved");
+        // Packets now land on the node-1 queue and the thread still gets
+        // them, in order.
+        let outs = host.wire_arrival(Time::from_ms(2), flow, 1448, 0);
+        assert!(!outs.is_empty());
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(q, host.netdevs[0].queue_for_core(14));
+        host.irq(at, q);
+        assert_eq!(host.ooo_count(sock), 0);
+    }
+
+    #[test]
+    fn migration_cannot_move_pf_under_standard_driver() {
+        let (mut host, pfs) = build(DriverModel::Standard);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1005);
+        // Socket on netdev 0 (PF0).
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mac = host.netdev_mac(NetdevId(0));
+        host.migrate_thread(Time::from_ms(1), th, 14);
+        let old_q = host.netdevs[0].queue_for_core(0);
+        host.irq(Time::from_ms(1), old_q);
+        // MAC-based steering still sends everything to PF0: NUDMA persists.
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0]);
+        let _ = sock;
+    }
+
+    #[test]
+    fn xps_switches_queue_after_drain_only() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1006);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let outs = match host.send(Time::ZERO, sock, 1000) {
+            SendOutcome::Sent { outs, .. } => outs,
+            o => panic!("{o:?}"),
+        };
+        let q0 = host.netdevs[0].queue_for_core(0);
+        assert_eq!(host.socket(sock).last_tx_queue, Some(q0));
+        host.migrate_thread(Time::from_us(1), th, 14);
+        // Old queue still has an un-completed packet: XPS must stick.
+        match host.send(Time::from_us(2), sock, 1000) {
+            SendOutcome::Sent { .. } => {}
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(host.socket(sock).last_tx_queue, Some(q0), "ooo guard");
+        // Complete outstanding packets.
+        for o in &outs {
+            if let HostOut::Irq { at, queue } = o {
+                host.irq(*at, *queue);
+            }
+        }
+        // Drain the second send's completion too.
+        host.irq(Time::from_ms(1), q0);
+        match host.send(Time::from_ms(2), sock, 1000) {
+            SendOutcome::Sent { .. } => {}
+            o => panic!("{o:?}"),
+        }
+        let q14 = host.netdevs[0].queue_for_core(14);
+        assert_eq!(host.socket(sock).last_tx_queue, Some(q14), "switched");
+    }
+
+    #[test]
+    fn unknown_flow_dropped() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let outs = host.wire_arrival(Time::ZERO, client_flow(9999), 100, 0);
+        assert!(outs.is_empty());
+        assert_eq!(host.rx_no_socket_drops(), 1);
+    }
+
+    #[test]
+    fn rx_buffers_recycle_forever() {
+        let (mut host, _) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(1007);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mut t = Time::ZERO;
+        // 3x the pool size worth of packets, consumed as we go.
+        for seq in 0..1536u64 {
+            t += Dur::from_us(2);
+            let outs = host.wire_arrival(t, flow, 1448, seq);
+            for o in outs {
+                if let HostOut::Irq { at, queue } = o {
+                    host.irq(at, queue);
+                }
+            }
+            match host.recv(t + Dur::from_us(1), sock, 1 << 20) {
+                RecvOutcome::Data { .. } | RecvOutcome::WouldBlock => {}
+            }
+        }
+        assert_eq!(
+            host.socket(sock).rx_bytes + 1448,
+            1448 * 1536 + 1448 - host.nic.rx_dropped() * 1448,
+            "no unexpected loss beyond drop accounting"
+        );
+        assert_eq!(host.nic.rx_dropped(), 0, "recycling keeps rings stocked");
+        assert_eq!(host.ooo_count(sock), 0);
+    }
+
+    #[test]
+    fn remote_socket_rx_is_slower_than_local() {
+        // The end-to-end NUDMA effect through the whole kernel path: same
+        // workload, thread on node 0 vs node 1, standard driver, netdev 0
+        // (PF0 on node 0).
+        let elapsed = |core: usize| -> Dur {
+            let (mut host, _) = build(DriverModel::Standard);
+            let th = host.spawn_thread(core);
+            let flow = client_flow(2000);
+            let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+            let mut t = Time::ZERO;
+            let mut app_time = Dur::ZERO;
+            for seq in 0..64u64 {
+                t += Dur::from_us(3);
+                let outs = host.wire_arrival(t, flow, 1448, seq);
+                for o in outs {
+                    if let HostOut::Irq { at, queue } = o {
+                        host.irq(at, queue);
+                    }
+                }
+                if let RecvOutcome::Data { done_at, .. } =
+                    host.recv(t + Dur::from_us(1), sock, 1 << 20)
+                {
+                    app_time += done_at.since(t + Dur::from_us(1));
+                }
+            }
+            app_time
+        };
+        let local = elapsed(0);
+        let remote = elapsed(14);
+        assert!(
+            remote > local,
+            "remote kernel path must cost more: local={local} remote={remote}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! OS-kernel substrate for the IOctopus reproduction.
+//!
+//! Models the parts of Linux the paper's mechanism lives in:
+//!
+//! * [`params`] — the CPU cost model (syscall, per-packet stack, copy
+//!   bandwidth…) with each constant tied to the paper observation it
+//!   reflects,
+//! * [`cores`] — per-core busy-time accounting (cores are serial resources;
+//!   single-core experiments serialize app work and softirq on one core
+//!   exactly as §5.1.1 does),
+//! * [`sched`] — threads, affinity, and `sched_setaffinity` migration
+//!   (Figure 14's trigger),
+//! * [`socket`] — sockets bound to flows, with receive queues, blocked-
+//!   reader wakeups, and out-of-order detection,
+//! * [`pools`] — NUMA-local Rx buffer and Tx kernel-buffer pools ("the
+//!   driver can guarantee that these buffers do not span NUMA nodes by
+//!   allocating them appropriately", §3.3),
+//! * [`netdev`] — network interfaces and the two driver models: `Standard`
+//!   (one netdev per PF, Figure 5a/b) and `OctoTeam` (the paper's team-
+//!   driver mode: one netdev over all PFs, §4.2),
+//! * [`host`] — the full host: syscall entry points (`send`/`recv`), NAPI
+//!   interrupt handling, XPS transmit-queue selection with the `ooo_okay`
+//!   out-of-order guard, ARFS steering callbacks, and the IOctoRFS updates
+//!   the octoNIC driver applies on process migration.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cores;
+pub mod host;
+pub mod netdev;
+pub mod params;
+pub mod pools;
+pub mod sched;
+pub mod socket;
+
+pub use cores::Cores;
+pub use host::{Host, HostConfig, HostOut, RecvOutcome, SendOutcome};
+pub use netdev::{DriverModel, NetdevId};
+pub use params::CpuCosts;
+pub use sched::ThreadId;
+pub use socket::SockId;

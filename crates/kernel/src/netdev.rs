@@ -1,0 +1,81 @@
+//! Network interfaces and the driver models.
+//!
+//! * [`DriverModel::Standard`] — the vendor driver as shipped: one netdevice
+//!   per physical function, each with its own MAC and IP (Figure 5a/b).
+//!   A socket is permanently stuck with its netdev's PF: "once a socket S
+//!   is established, there is no generally applicable way to make the bytes
+//!   that it streams flow through a different physical device" (§2.5).
+//! * [`DriverModel::OctoTeam`] — the paper's implementation: the team
+//!   driver in IOctopus mode aggregates all PFs into one netdevice with one
+//!   MAC; each per-core queue rides the PF local to that core's socket
+//!   (§4.2), and steering follows the process.
+
+use nic::{MacAddr, QueueId};
+
+/// Identifies a network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetdevId(pub usize);
+
+impl std::fmt::Display for NetdevId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "eth{}", self.0)
+    }
+}
+
+/// Which driver manages the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverModel {
+    /// Vendor driver: one netdev per PF (standard firmware).
+    Standard,
+    /// Team driver in IOctopus mode: one netdev over all PFs (octoNIC
+    /// firmware).
+    OctoTeam,
+}
+
+/// One network interface.
+#[derive(Debug, Clone)]
+pub struct Netdev {
+    /// Externally visible MAC.
+    pub mac: MacAddr,
+    /// XPS mapping: the Tx/Rx queue used when running on core `i`
+    /// ("The Linux network stack maps each core C to a different Tx queue
+    /// Q, such that Q's memory is allocated from C's node", §2.3).
+    pub queue_by_core: Vec<QueueId>,
+}
+
+impl Netdev {
+    /// The queue XPS selects for a thread running on `core`.
+    pub fn queue_for_core(&self, core: usize) -> QueueId {
+        self.queue_by_core[core]
+    }
+
+    /// Number of queues (== cores).
+    pub fn queue_count(&self) -> usize {
+        self.queue_by_core.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xps_maps_core_to_queue() {
+        let nd = Netdev {
+            mac: MacAddr::local_admin(0),
+            queue_by_core: (0..4).map(QueueId).collect(),
+        };
+        assert_eq!(nd.queue_for_core(2), QueueId(2));
+        assert_eq!(nd.queue_count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_core_panics() {
+        let nd = Netdev {
+            mac: MacAddr::local_admin(0),
+            queue_by_core: vec![QueueId(0)],
+        };
+        nd.queue_for_core(5);
+    }
+}

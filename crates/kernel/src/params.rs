@@ -1,0 +1,95 @@
+//! The CPU cost model.
+//!
+//! Every constant is a *software* cost (cycles spent executing kernel or
+//! libc code); *memory* costs (cache misses, DRAM, QPI) are charged
+//! separately and mechanistically by [`memsys`]. The defaults are calibrated
+//! so that the absolute throughputs land near the paper's Broadwell numbers
+//! (§5.1.1: single-core TCP Rx ≈ 22 Gb/s, Tx(TSO) ≈ 47 Gb/s, pktgen ≈
+//! 4.1 Mpps for the local configuration) — see `ioctopus::params` for the
+//! calibration experiments.
+
+use simcore::Dur;
+
+/// Per-operation CPU costs of the simulated kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCosts {
+    /// User↔kernel crossing (syscall entry + exit).
+    pub syscall: Dur,
+    /// Socket-layer bookkeeping per send/recv call.
+    pub per_msg_stack: Dur,
+    /// IP/TCP processing per packet on the receive (softirq) side.
+    pub per_pkt_stack: Dur,
+    /// Interrupt entry + NAPI scheduling.
+    pub irq_entry: Dur,
+    /// Waking a blocked thread (enqueue + context switch once the core is
+    /// free).
+    pub wake_latency: Dur,
+    /// CPU-visible cost of a posted doorbell MMIO write (the write itself is
+    /// posted; this is the store + write-combining flush cost, which does
+    /// NOT grow when the device is remote — §5.1.1's pktgen delta is the
+    /// completion-entry *read*, not the doorbell).
+    pub doorbell: Dur,
+    /// Driver work to build/post one descriptor (excluding the memory
+    /// write, charged via `memsys`).
+    pub per_desc: Dur,
+    /// Completion handling per Tx completion (free skb, account).
+    pub per_tx_completion: Dur,
+    /// Instruction-issue-bound copy bandwidth of `copy_to/from_user`
+    /// (bytes/second); cache stalls add on top via `memsys`.
+    pub memcpy_bytes_per_sec: u64,
+    /// pktgen's per-packet loop cost (it rewrites the same packet header,
+    /// no socket or copy work — §5.1.1: "repeatedly transmits the same IP
+    /// packet without touching any data").
+    pub pktgen_loop: Dur,
+}
+
+impl CpuCosts {
+    /// Calibrated for the paper's 2.0 GHz Broadwell cores running Linux
+    /// 4.14.
+    pub fn broadwell_linux414() -> Self {
+        CpuCosts {
+            syscall: Dur::from_ns(180),
+            per_msg_stack: Dur::from_ns(170),
+            per_pkt_stack: Dur::from_ns(230),
+            irq_entry: Dur::from_ns(600),
+            wake_latency: Dur::from_ns(900),
+            doorbell: Dur::from_ns(60),
+            per_desc: Dur::from_ns(45),
+            per_tx_completion: Dur::from_ns(60),
+            memcpy_bytes_per_sec: 8_000_000_000,
+            pktgen_loop: Dur::from_ns(110),
+        }
+    }
+
+    /// Time the copy loop itself needs for `len` bytes (stalls excluded).
+    pub fn memcpy_issue(&self, len: u64) -> Dur {
+        Dur::for_bytes(len, self.memcpy_bytes_per_sec)
+    }
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        Self::broadwell_linux414()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_issue_scales_linearly() {
+        let c = CpuCosts::default();
+        let one = c.memcpy_issue(1_000);
+        let ten = c.memcpy_issue(10_000);
+        assert_eq!(ten.as_ps(), one.as_ps() * 10);
+    }
+
+    #[test]
+    fn broadwell_costs_are_sub_microsecond() {
+        let c = CpuCosts::broadwell_linux414();
+        assert!(c.syscall < Dur::from_us(1));
+        assert!(c.per_pkt_stack < Dur::from_us(1));
+        assert!(c.memcpy_issue(1448) < Dur::from_us(1));
+    }
+}

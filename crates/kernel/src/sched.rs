@@ -1,0 +1,146 @@
+//! Threads and placement.
+//!
+//! The experiments pin each thread to a core and occasionally migrate it
+//! with `sched_setaffinity` (§5.3). The scheduler therefore tracks the
+//! thread→core assignment and exposes migration; time-sharing is not
+//! modeled because no experiment oversubscribes a core.
+
+use memsys::{NodeId, Topology};
+
+/// Identifies a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    core: usize,
+    migrations: u64,
+}
+
+/// The thread registry.
+#[derive(Debug)]
+pub struct Sched {
+    topo: Topology,
+    threads: Vec<Thread>,
+}
+
+impl Sched {
+    /// Creates an empty registry over `topo`.
+    pub fn new(topo: Topology) -> Self {
+        Sched {
+            topo,
+            threads: Vec::new(),
+        }
+    }
+
+    /// Spawns a thread pinned to `core`.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn spawn(&mut self, core: usize) -> ThreadId {
+        assert!(core < self.topo.total_cores(), "core {core} out of range");
+        let id = ThreadId(self.threads.len());
+        self.threads.push(Thread {
+            core,
+            migrations: 0,
+        });
+        id
+    }
+
+    /// The core `t` currently runs on.
+    pub fn core_of(&self, t: ThreadId) -> usize {
+        self.thread(t).core
+    }
+
+    /// The NUMA node `t` currently runs on.
+    pub fn node_of(&self, t: ThreadId) -> NodeId {
+        self.topo.node_of_core(self.thread(t).core)
+    }
+
+    /// `sched_setaffinity`: moves `t` to `core`. Returns the previous core.
+    pub fn migrate(&mut self, t: ThreadId, core: usize) -> usize {
+        assert!(core < self.topo.total_cores(), "core {core} out of range");
+        let th = self.thread_mut(t);
+        let old = th.core;
+        if old != core {
+            th.core = core;
+            th.migrations += 1;
+        }
+        old
+    }
+
+    /// How many times `t` has migrated.
+    pub fn migrations(&self, t: ThreadId) -> u64 {
+        self.thread(t).migrations
+    }
+
+    /// Number of registered threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether no threads exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    fn thread(&self, t: ThreadId) -> &Thread {
+        self.threads
+            .get(t.0)
+            .unwrap_or_else(|| panic!("unknown {t}"))
+    }
+
+    fn thread_mut(&mut self, t: ThreadId) -> &mut Thread {
+        self.threads
+            .get_mut(t.0)
+            .unwrap_or_else(|| panic!("unknown {t}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Sched {
+        Sched::new(Topology::new(2, 14))
+    }
+
+    #[test]
+    fn spawn_and_place() {
+        let mut s = sched();
+        let t = s.spawn(3);
+        assert_eq!(s.core_of(t), 3);
+        assert_eq!(s.node_of(t), NodeId(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn migrate_across_sockets() {
+        let mut s = sched();
+        let t = s.spawn(0);
+        let old = s.migrate(t, 14);
+        assert_eq!(old, 0);
+        assert_eq!(s.node_of(t), NodeId(1));
+        assert_eq!(s.migrations(t), 1);
+    }
+
+    #[test]
+    fn migrate_to_same_core_is_noop() {
+        let mut s = sched();
+        let t = s.spawn(5);
+        s.migrate(t, 5);
+        assert_eq!(s.migrations(t), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_rejected() {
+        sched().spawn(99);
+    }
+}

@@ -1,0 +1,37 @@
+//! Snapshot counters for the quantities the paper plots.
+
+use crate::topology::NodeId;
+
+/// A point-in-time snapshot of memory-system traffic since the last reset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counters {
+    /// Per-node DRAM read bytes.
+    pub dram_reads: Vec<u64>,
+    /// Per-node DRAM write bytes.
+    pub dram_writes: Vec<u64>,
+    /// Total interconnect bytes (all directions).
+    pub interconnect_bytes: u64,
+    /// LLC hits across all sockets.
+    pub llc_hits: u64,
+    /// LLC misses across all sockets.
+    pub llc_misses: u64,
+}
+
+impl Counters {
+    /// DRAM read bytes on `node`.
+    pub fn dram_read_bytes(&self, node: NodeId) -> u64 {
+        self.dram_reads[node.0]
+    }
+
+    /// DRAM write bytes on `node`.
+    pub fn dram_write_bytes(&self, node: NodeId) -> u64 {
+        self.dram_writes[node.0]
+    }
+
+    /// Total DRAM traffic (reads + writes) across every node — the
+    /// "memory bandwidth" quantity of Figures 6–8 and 10–12 before dividing
+    /// by the measurement window.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.dram_reads.iter().sum::<u64>() + self.dram_writes.iter().sum::<u64>()
+    }
+}

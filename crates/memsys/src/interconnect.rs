@@ -1,0 +1,182 @@
+//! The CPU interconnect (QPI/UPI) as per-direction bandwidth servers.
+//!
+//! The paper's Broadwell testbed connects its two sockets with two 9.6 GT/s
+//! QPI links; the Skylake NVMe testbed uses two 10.4 GT/s UPI links. Each
+//! *direction* of the aggregate is an independent [`BwLink`], because QPI is
+//! full-duplex: Figure 11's STREAM antagonists saturate one direction while
+//! the other still carries acknowledgements.
+
+use std::collections::HashMap;
+
+use simcore::{BwLink, Dur, Time};
+
+use crate::topology::NodeId;
+
+/// Interconnect parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct InterconnectConfig {
+    /// Aggregate one-direction bandwidth between a node pair, bytes/second.
+    pub bytes_per_sec: u64,
+    /// One-hop latency added to every crossing.
+    pub latency: Dur,
+}
+
+impl InterconnectConfig {
+    /// Two 9.6 GT/s QPI links: 2 × 19.2 GB/s raw per direction (Broadwell
+    /// testbed, §5 "connected via two 9.6 GT/s QPI links"), derated to ~75%
+    /// for coherence-protocol overhead (snoops, headers, credits) — the
+    /// *data* bandwidth software actually observes.
+    pub fn qpi_broadwell_2links() -> Self {
+        InterconnectConfig {
+            bytes_per_sec: 28_800_000_000,
+            latency: Dur::from_ns(55),
+        }
+    }
+
+    /// Two 10.4 GT/s UPI links: 2 × 20.8 GB/s raw per direction (Skylake
+    /// NVMe testbed, §5.4), derated to ~75% effective data bandwidth.
+    pub fn upi_skylake_2links() -> Self {
+        InterconnectConfig {
+            bytes_per_sec: 31_200_000_000,
+            latency: Dur::from_ns(50),
+        }
+    }
+}
+
+/// All interconnect directions of the machine.
+///
+/// Fully connected: every ordered node pair gets its own direction server
+/// (trivially two for a dual-socket machine).
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    cfg: InterconnectConfig,
+    dirs: HashMap<(NodeId, NodeId), BwLink>,
+}
+
+impl Interconnect {
+    /// Builds the interconnect for `nodes` fully connected sockets.
+    pub fn new(nodes: usize, cfg: InterconnectConfig) -> Self {
+        let mut dirs = HashMap::new();
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b {
+                    dirs.insert(
+                        (NodeId(a), NodeId(b)),
+                        BwLink::new(format!("qpi{a}->{b}"), cfg.bytes_per_sec, cfg.latency),
+                    );
+                }
+            }
+        }
+        Interconnect { cfg, dirs }
+    }
+
+    /// The one-hop crossing latency.
+    pub fn hop_latency(&self) -> Dur {
+        self.cfg.latency
+    }
+
+    /// Reserves a `bytes` transfer from `from` to `to`; returns completion.
+    ///
+    /// Same-node "transfers" complete immediately at `now` — there is no hop.
+    pub fn transfer(&mut self, now: Time, from: NodeId, to: NodeId, bytes: u64) -> Time {
+        if from == to {
+            return now;
+        }
+        self.dir_mut(from, to).reserve(now, bytes)
+    }
+
+    /// The current queueing delay in the `from → to` direction.
+    pub fn queue_delay(&self, now: Time, from: NodeId, to: NodeId) -> Dur {
+        if from == to {
+            return Dur::ZERO;
+        }
+        self.dir(from, to).queue_delay(now)
+    }
+
+    /// Bytes moved in the `from → to` direction since the last reset.
+    pub fn bytes(&self, from: NodeId, to: NodeId) -> u64 {
+        if from == to {
+            return 0;
+        }
+        self.dir(from, to).total_bytes()
+    }
+
+    /// Total bytes across every direction since the last reset.
+    pub fn total_bytes(&self) -> u64 {
+        self.dirs.values().map(BwLink::total_bytes).sum()
+    }
+
+    /// Resets all traffic meters.
+    pub fn reset_counters(&mut self) {
+        for l in self.dirs.values_mut() {
+            l.reset_meter();
+        }
+    }
+
+    fn dir(&self, from: NodeId, to: NodeId) -> &BwLink {
+        self.dirs
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no interconnect direction {from}->{to}"))
+    }
+
+    fn dir_mut(&mut self, from: NodeId, to: NodeId) -> &mut BwLink {
+        self.dirs
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no interconnect direction {from}->{to}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qpi() -> Interconnect {
+        Interconnect::new(2, InterconnectConfig::qpi_broadwell_2links())
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let mut ic = qpi();
+        let done = ic.transfer(Time::from_ns(7), NodeId(0), NodeId(0), 1 << 20);
+        assert_eq!(done, Time::from_ns(7));
+        assert_eq!(ic.total_bytes(), 0);
+    }
+
+    #[test]
+    fn crossing_pays_latency() {
+        let mut ic = qpi();
+        let done = ic.transfer(Time::ZERO, NodeId(0), NodeId(1), 64);
+        assert!(done >= Time::from_ns(55));
+        assert!(done < Time::from_ns(60));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut ic = qpi();
+        // Saturate 0->1 with ~1 ms of traffic.
+        ic.transfer(Time::ZERO, NodeId(0), NodeId(1), 38_400_000);
+        assert!(ic.queue_delay(Time::ZERO, NodeId(0), NodeId(1)) > Dur::from_us(900));
+        // The reverse direction is unaffected.
+        assert_eq!(ic.queue_delay(Time::ZERO, NodeId(1), NodeId(0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn congestion_delays_later_transfers() {
+        let mut ic = qpi();
+        ic.transfer(Time::ZERO, NodeId(0), NodeId(1), 38_400_000); // 1 ms backlog
+        let done = ic.transfer(Time::ZERO, NodeId(0), NodeId(1), 64);
+        assert!(done >= Time::from_ms(1));
+    }
+
+    #[test]
+    fn byte_accounting_per_direction() {
+        let mut ic = qpi();
+        ic.transfer(Time::ZERO, NodeId(0), NodeId(1), 100);
+        ic.transfer(Time::ZERO, NodeId(1), NodeId(0), 40);
+        assert_eq!(ic.bytes(NodeId(0), NodeId(1)), 100);
+        assert_eq!(ic.bytes(NodeId(1), NodeId(0)), 40);
+        assert_eq!(ic.total_bytes(), 140);
+        ic.reset_counters();
+        assert_eq!(ic.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! NUMA memory-system substrate for the IOctopus reproduction.
+//!
+//! Models the part of the machine where NUDMA effects (the paper's §2.2)
+//! actually live:
+//!
+//! * a multi-socket **topology** with per-node DRAM and cores ([`topology`]),
+//! * per-socket **last-level caches** with a DDIO way-partition ([`cache`]),
+//! * the **QPI/UPI interconnect** as per-direction bandwidth servers
+//!   ([`interconnect`]),
+//! * per-node **DRAM channel groups** ([`dram`]),
+//! * a **NUMA-aware physical allocator** ([`alloc`]), and
+//! * the [`MemSystem`] façade that CPU cores and PCIe devices access memory
+//!   through. Every CPU load/store and every device DMA goes through this
+//!   façade, which accounts cache state, DRAM and interconnect bandwidth, and
+//!   returns the access stall time.
+//!
+//! The DDIO rules implemented here are the ones the paper observes on real
+//! hardware (§2.2, §5.1.1):
+//!
+//! * local DMA **writes** allocate into a bounded subset of the LLC ways and
+//!   never touch DRAM;
+//! * remote DMA **writes** invalidate cached copies and go to the home DRAM
+//!   over the interconnect;
+//! * remote DMA **reads** probe the home LLC and DRAM *in parallel* — data is
+//!   served from the LLC without invalidation when present, but DRAM
+//!   bandwidth is consumed regardless (this is the paper's footnote-5
+//!   hypothesis, and it is what makes remote-Tx memory bandwidth equal the
+//!   network throughput in Figure 7).
+//!
+//! # Example
+//!
+//! ```
+//! use memsys::{MemConfig, MemSystem, NodeId, AccessKind};
+//! use simcore::Time;
+//!
+//! let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+//! let buf = mem.alloc(NodeId(0), 4096);
+//! // A device attached to node 1 DMA-writes a remote buffer: DRAM traffic.
+//! mem.dma_write(Time::ZERO, NodeId(1), buf, 1500);
+//! assert!(mem.counters().dram_write_bytes(NodeId(0)) > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod cache;
+pub mod counters;
+pub mod dram;
+pub mod interconnect;
+pub mod system;
+pub mod topology;
+
+pub use alloc::PhysAllocator;
+pub use cache::{Llc, LlcConfig};
+pub use counters::Counters;
+pub use system::{AccessKind, MemConfig, MemSystem};
+pub use topology::{NodeId, PhysAddr, Topology};

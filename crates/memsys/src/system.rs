@@ -1,0 +1,771 @@
+//! The memory-system façade: every CPU access and device DMA goes through
+//! [`MemSystem`], which accounts cache state, DRAM/interconnect bandwidth,
+//! and returns how long the access stalls the initiator.
+
+use simcore::{Dur, Time};
+
+use crate::alloc::PhysAllocator;
+use crate::cache::{Evicted, LineState, Llc, LlcConfig};
+use crate::counters::Counters;
+use crate::dram::{DramConfig, DramGroup};
+use crate::interconnect::{Interconnect, InterconnectConfig};
+use crate::topology::{NodeId, PhysAddr, Topology, LINE_BYTES};
+
+/// How an access overlaps with other work, which controls how much of the
+/// miss latency is *exposed* to the initiator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Dependent access (pointer chase, descriptor poll): the full miss
+    /// latency stalls the initiator. The paper's ~80 ns completion-entry
+    /// read (§5.1.1) is this kind.
+    Pointer,
+    /// Sequential bulk access (payload copy, STREAM): hardware prefetchers
+    /// and DMA pipelining hide most of the latency; only bandwidth and a
+    /// small latency fraction are exposed.
+    Stream,
+}
+
+/// Full machine memory configuration.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// NUMA layout.
+    pub topology: Topology,
+    /// Per-socket LLC geometry.
+    pub llc: LlcConfig,
+    /// Per-node DRAM channels.
+    pub dram: DramConfig,
+    /// Socket interconnect.
+    pub interconnect: InterconnectConfig,
+    /// Simulated memory per node.
+    pub bytes_per_node: u64,
+    /// Whether Data Direct I/O is enabled (Figure 9's `nd` configs turn it
+    /// off).
+    pub ddio: bool,
+    /// LLC hit latency (L3 load-to-use).
+    pub llc_hit_latency: Dur,
+    /// Effective streaming bandwidth out of the LLC, bytes/second.
+    pub llc_bytes_per_sec: u64,
+    /// Cross-socket snoop penalty for cache-to-cache transfers.
+    pub snoop_latency: Dur,
+    /// Fraction of miss latency exposed on [`AccessKind::Stream`] accesses.
+    pub stream_overlap: f64,
+    /// Maximum streaming bandwidth a single thread can extract
+    /// (latency × miss-parallelism bound: ~10 line-fill buffers ÷ ~100 ns
+    /// round trip ≈ 6-9 GB/s on these parts). Shared-resource congestion
+    /// can push a thread below this; it can never exceed it.
+    pub single_thread_stream_bps: u64,
+}
+
+impl MemConfig {
+    /// The paper's networking testbed (§5): 2× 14-core Broadwell, 4 DDR4
+    /// DIMMs per socket, two 9.6 GT/s QPI links.
+    pub fn dual_socket_broadwell() -> Self {
+        MemConfig {
+            topology: Topology::new(2, 14),
+            llc: LlcConfig::broadwell_14c(),
+            dram: DramConfig::ddr4_broadwell(),
+            interconnect: InterconnectConfig::qpi_broadwell_2links(),
+            bytes_per_node: 8 << 30,
+            ddio: true,
+            llc_hit_latency: Dur::from_ns(18),
+            llc_bytes_per_sec: 150_000_000_000,
+            snoop_latency: Dur::from_ns(30),
+            stream_overlap: 0.45,
+            single_thread_stream_bps: 8_000_000_000,
+        }
+    }
+
+    /// The paper's NVMe testbed (§5.4): 2× 24-core Skylake, 6 DDR4 channels
+    /// per socket, two 10.4 GT/s UPI links.
+    pub fn dual_socket_skylake() -> Self {
+        MemConfig {
+            topology: Topology::new(2, 24),
+            llc: LlcConfig {
+                capacity_bytes: 33 * 1024 * 1024,
+                ways: 11,
+                ddio_ways: 2,
+            },
+            dram: DramConfig::ddr4_skylake(),
+            interconnect: InterconnectConfig::upi_skylake_2links(),
+            bytes_per_node: 8 << 30,
+            ddio: true,
+            llc_hit_latency: Dur::from_ns(20),
+            llc_bytes_per_sec: 170_000_000_000,
+            snoop_latency: Dur::from_ns(32),
+            stream_overlap: 0.45,
+            single_thread_stream_bps: 9_000_000_000,
+        }
+    }
+}
+
+/// The machine's memory system: LLCs, DRAM, interconnect, and allocator.
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    llcs: Vec<Llc>,
+    dram: Vec<DramGroup>,
+    qpi: Interconnect,
+    alloc: PhysAllocator,
+}
+
+impl MemSystem {
+    /// Builds the memory system described by `cfg`.
+    pub fn new(cfg: MemConfig) -> Self {
+        let nodes = cfg.topology.nodes();
+        let llcs = (0..nodes).map(|_| Llc::new(cfg.llc)).collect();
+        let dram = (0..nodes).map(|n| DramGroup::new(n, cfg.dram)).collect();
+        let qpi = Interconnect::new(nodes, cfg.interconnect);
+        let alloc = PhysAllocator::new(nodes, cfg.bytes_per_node);
+        MemSystem {
+            cfg,
+            llcs,
+            dram,
+            qpi,
+            alloc,
+        }
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.cfg.topology
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Enables or disables DDIO (Figure 9's `llnd` configuration).
+    pub fn set_ddio(&mut self, on: bool) {
+        self.cfg.ddio = on;
+    }
+
+    /// Whether DDIO is active.
+    pub fn ddio(&self) -> bool {
+        self.cfg.ddio
+    }
+
+    /// Allocates `bytes` of node-local memory.
+    pub fn alloc(&mut self, node: NodeId, bytes: u64) -> PhysAddr {
+        self.alloc.alloc(node, bytes)
+    }
+
+    /// A CPU on `node` reads `len` bytes at `addr`. Returns the stall.
+    pub fn cpu_read(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        addr: PhysAddr,
+        len: u64,
+        kind: AccessKind,
+    ) -> Dur {
+        self.cpu_access(now, node, addr, len, kind, false)
+    }
+
+    /// A CPU on `node` writes `len` bytes at `addr`. Returns the stall.
+    ///
+    /// Writes allocate (read-for-ownership) and leave lines `Modified` in the
+    /// local LLC; DRAM sees the traffic later, on eviction.
+    pub fn cpu_write(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        addr: PhysAddr,
+        len: u64,
+        kind: AccessKind,
+    ) -> Dur {
+        self.cpu_access(now, node, addr, len, kind, true)
+    }
+
+    fn cpu_access(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        addr: PhysAddr,
+        len: u64,
+        kind: AccessKind,
+        write: bool,
+    ) -> Dur {
+        if len == 0 {
+            return Dur::ZERO;
+        }
+        assert!(len <= 8 << 20, "single access too large: {len}");
+        let home = addr.home();
+        let lines = addr.lines_spanned(len);
+        let mut hit_lines = 0u64;
+        let mut miss_lines = 0u64;
+        let mut c2c_lines = 0u64;
+        let mut wb = WritebackAcc::default();
+
+        for i in 0..lines {
+            let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
+            let local_state = self.llcs[node.0].probe(a);
+            match local_state {
+                Some(_) => {
+                    hit_lines += 1;
+                    if write {
+                        // Upgrade to Modified; invalidate peers' Shared copies.
+                        self.llcs[node.0].insert(a, LineState::Modified, false);
+                        self.invalidate_peers(a, node, &mut wb, false);
+                    }
+                }
+                None => {
+                    // Check peers for a dirty copy (cache-to-cache transfer).
+                    let mut served_c2c = false;
+                    for peer in 0..self.llcs.len() {
+                        if peer == node.0 {
+                            continue;
+                        }
+                        if let Some(LineState::Modified) = self.llcs[peer].peek(a) {
+                            // Implicit writeback to home + transfer to requester.
+                            wb.add(home, 1);
+                            if write {
+                                self.llcs[peer].invalidate(a);
+                            } else {
+                                self.llcs[peer].downgrade(a);
+                            }
+                            c2c_lines += 1;
+                            served_c2c = true;
+                            break;
+                        }
+                    }
+                    if !served_c2c {
+                        miss_lines += 1;
+                        if write {
+                            // Drop any Shared peer copies.
+                            self.invalidate_peers(a, node, &mut wb, false);
+                        }
+                    }
+                    let state = if write {
+                        LineState::Modified
+                    } else {
+                        LineState::Shared
+                    };
+                    match self.llcs[node.0].insert(a, state, false) {
+                        Evicted::Dirty(victim_line) => {
+                            let victim_home = PhysAddr(victim_line * LINE_BYTES).home();
+                            wb.add(victim_home, 1);
+                        }
+                        Evicted::Clean | Evicted::None => {}
+                    }
+                }
+            }
+        }
+
+        // Bandwidth accounting.
+        let mut done = now;
+        let mut fixed = Dur::ZERO;
+        let miss_bytes = miss_lines * LINE_BYTES;
+        let c2c_bytes = c2c_lines * LINE_BYTES;
+        if miss_bytes > 0 {
+            // Serial DRAM-then-interconnect path. Every hop is reserved at
+            // `now` and the durations are summed: reserving at each hop's
+            // own (future) start time would let one congested chain push a
+            // link's FIFO horizon ahead of near-term traffic and destabilize
+            // the whole fluid model.
+            let d_dur = self.dram[home.0].read(now, miss_bytes).since(now);
+            fixed = fixed.max(self.cfg.dram.latency);
+            let total = if home != node {
+                let q_dur = self.qpi.transfer(now, home, node, miss_bytes).since(now);
+                fixed = fixed.max(self.cfg.dram.latency + self.qpi.hop_latency());
+                d_dur + q_dur
+            } else {
+                d_dur
+            };
+            done = done.max(now + total);
+        }
+        if c2c_bytes > 0 {
+            // Dirty data is forwarded peer -> requester (directory-assisted,
+            // one interconnect crossing — charged by the transfer below —
+            // plus the peer's snoop response time); the implicit writeback
+            // hits home DRAM.
+            let snoop = self.cfg.snoop_latency;
+            for peer in 0..self.llcs.len() {
+                if peer != node.0 {
+                    let q_dur = self
+                        .qpi
+                        .transfer(now, NodeId(peer), node, c2c_bytes)
+                        .since(now);
+                    done = done.max(now + snoop + q_dur);
+                    break;
+                }
+            }
+            fixed = fixed.max(snoop);
+        }
+        self.flush_writebacks(now, node, &wb);
+
+        let hit_cost = if hit_lines > 0 {
+            self.cfg.llc_hit_latency
+                + Dur::for_bytes(hit_lines * LINE_BYTES, self.cfg.llc_bytes_per_sec)
+        } else {
+            Dur::ZERO
+        };
+        let raw = done.since(now);
+        let exposed = match kind {
+            AccessKind::Pointer => raw,
+            AccessKind::Stream => {
+                let hidden = fixed * (1.0 - self.cfg.stream_overlap);
+                raw.saturating_sub(hidden)
+            }
+        };
+        hit_cost + exposed
+    }
+
+    /// Bulk non-allocating CPU access (the STREAM antagonist): consumes DRAM
+    /// and interconnect bandwidth without touching the LLC model. Returns the
+    /// stall, which self-limits the antagonist under congestion.
+    pub fn cpu_stream_through(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        target: NodeId,
+        len: u64,
+        write: bool,
+    ) -> Dur {
+        let mut done = if write {
+            self.dram[target.0].write(now, len)
+        } else {
+            self.dram[target.0].read(now, len)
+        };
+        if target != node {
+            let (from, to) = if write {
+                (node, target)
+            } else {
+                (target, node)
+            };
+            done = done.max(self.qpi.transfer(now, from, to, len));
+        }
+        let raw = done.since(now);
+        let hidden = self.cfg.dram.latency * (1.0 - self.cfg.stream_overlap);
+        let floor = Dur::for_bytes(len, self.cfg.single_thread_stream_bps);
+        raw.saturating_sub(hidden).max(floor)
+    }
+
+    /// A device whose PCIe endpoint attaches to `dev_node` DMA-reads `len`
+    /// bytes at `addr` (packet transmission, NVMe write-out). Returns the
+    /// memory-side stall of the DMA engine.
+    ///
+    /// DMA reads never allocate into the LLC. Remote reads probe the home
+    /// LLC and DRAM in parallel: the data comes from the LLC when present
+    /// (no invalidation), but home-DRAM bandwidth is consumed regardless —
+    /// the paper's explanation for Figure 7's remote memory traffic.
+    pub fn dma_read(&mut self, now: Time, dev_node: NodeId, addr: PhysAddr, len: u64) -> Dur {
+        if len == 0 {
+            return Dur::ZERO;
+        }
+        let home = addr.home();
+        let local = dev_node == home;
+        let lines = addr.lines_spanned(len);
+        let mut hit_lines = 0u64;
+        for i in 0..lines {
+            let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
+            if self.llcs[home.0].peek(a).is_some() {
+                hit_lines += 1;
+            }
+        }
+        let miss_lines = lines - hit_lines;
+
+        let mut done = now;
+        let mut fixed = Dur::ZERO;
+        if local {
+            // DDIO serves local DMA reads from the LLC when the data is
+            // there; only misses touch DRAM.
+            if miss_lines > 0 {
+                done = done.max(self.dram[home.0].read(now, miss_lines * LINE_BYTES));
+                fixed = fixed.max(self.cfg.dram.latency);
+            }
+            if hit_lines > 0 {
+                fixed = fixed.max(self.cfg.llc_hit_latency);
+            }
+        } else {
+            // Parallel probe: DRAM read bandwidth for the full payload, LLC
+            // data used when present (no invalidation, no downgrade). The
+            // data then crosses the interconnect to the device's socket.
+            // Both hops reserved at `now`, durations summed (see cpu_access).
+            let d_dur = self.dram[home.0].read(now, lines * LINE_BYTES).since(now);
+            let q_dur = self
+                .qpi
+                .transfer(now, home, dev_node, lines * LINE_BYTES)
+                .since(now);
+            done = done.max(now + d_dur + q_dur);
+            fixed = fixed.max(self.cfg.dram.latency + self.qpi.hop_latency());
+        }
+        let raw = done.since(now);
+        raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap))
+    }
+
+    /// A device attached to `dev_node` DMA-writes `len` bytes at `addr`
+    /// (packet reception, completion entries, NVMe read returns). Returns
+    /// the memory-side stall of the DMA engine.
+    ///
+    /// Local + DDIO: allocates into the local LLC's DDIO ways, no DRAM
+    /// traffic. Otherwise: invalidates cached copies and writes the home
+    /// DRAM across the interconnect (§2.3: "L will have to be invalidated
+    /// before the NIC is able to DMA-write it").
+    pub fn dma_write(&mut self, now: Time, dev_node: NodeId, addr: PhysAddr, len: u64) -> Dur {
+        if len == 0 {
+            return Dur::ZERO;
+        }
+        let home = addr.home();
+        let local = dev_node == home;
+        let lines = addr.lines_spanned(len);
+        let mut wb = WritebackAcc::default();
+        let mut done = now;
+        let mut fixed = Dur::ZERO;
+
+        if local && self.cfg.ddio {
+            for i in 0..lines {
+                let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
+                // Peers lose their copies (full overwrite: dirty data is
+                // simply superseded).
+                self.invalidate_all_peers(a, home);
+                match self.llcs[home.0].insert(a, LineState::Modified, true) {
+                    Evicted::Dirty(victim) => {
+                        wb.add(PhysAddr(victim * LINE_BYTES).home(), 1);
+                    }
+                    Evicted::Clean | Evicted::None => {}
+                }
+            }
+            fixed = fixed.max(self.cfg.llc_hit_latency);
+            done += Dur::for_bytes(lines * LINE_BYTES, self.cfg.llc_bytes_per_sec);
+        } else {
+            for i in 0..lines {
+                let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
+                for llc in &mut self.llcs {
+                    llc.invalidate(a);
+                }
+            }
+            // The write crosses the interconnect first (for a remote home),
+            // then drains into the home DRAM. Hops reserved at `now`,
+            // durations summed (see cpu_access).
+            let q_dur = if local {
+                Dur::ZERO
+            } else {
+                fixed = fixed.max(self.qpi.hop_latency());
+                self.qpi
+                    .transfer(now, dev_node, home, lines * LINE_BYTES)
+                    .since(now)
+            };
+            let d_dur = self.dram[home.0].write(now, lines * LINE_BYTES).since(now);
+            done = done.max(now + q_dur + d_dur);
+            fixed += self.cfg.dram.latency;
+        }
+        self.flush_writebacks(now, home, &wb);
+        let raw = done.since(now);
+        raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap))
+    }
+
+    /// Extra latency a CPU-initiated MMIO (doorbell) pays when the device
+    /// hangs off a different socket than the issuing core.
+    pub fn mmio_extra_hops(&self, core_node: NodeId, dev_node: NodeId) -> Dur {
+        if core_node == dev_node {
+            Dur::ZERO
+        } else {
+            self.qpi.hop_latency()
+        }
+    }
+
+    /// Extra latency an interrupt pays to reach a core on another socket.
+    pub fn interrupt_extra_hops(&self, dev_node: NodeId, core_node: NodeId) -> Dur {
+        self.mmio_extra_hops(core_node, dev_node)
+    }
+
+    /// Queueing delay currently present in the `from → to` interconnect
+    /// direction (diagnostic).
+    pub fn interconnect_queue_delay(&self, now: Time, from: NodeId, to: NodeId) -> Dur {
+        self.qpi.queue_delay(now, from, to)
+    }
+
+    /// A traffic snapshot since the last [`reset_counters`](Self::reset_counters).
+    pub fn counters(&self) -> Counters {
+        Counters {
+            dram_reads: self.dram.iter().map(DramGroup::read_bytes).collect(),
+            dram_writes: self.dram.iter().map(DramGroup::write_bytes).collect(),
+            interconnect_bytes: self.qpi.total_bytes(),
+            llc_hits: self.llcs.iter().map(Llc::hits).sum(),
+            llc_misses: self.llcs.iter().map(Llc::misses).sum(),
+        }
+    }
+
+    /// Resets traffic counters at a measurement-window boundary.
+    pub fn reset_counters(&mut self) {
+        for d in &mut self.dram {
+            d.reset_counters();
+        }
+        self.qpi.reset_counters();
+    }
+
+    /// The coherence state of the line containing `addr` in `node`'s LLC,
+    /// if cached (diagnostics and invariant tests).
+    pub fn peek_line(&self, node: NodeId, addr: PhysAddr) -> Option<crate::cache::LineState> {
+        self.llcs[node.0].peek(addr)
+    }
+
+    /// Drops all cached lines (cold-start for tests).
+    pub fn flush_caches(&mut self) {
+        for llc in &mut self.llcs {
+            llc.flush_all();
+        }
+    }
+
+    fn invalidate_peers(
+        &mut self,
+        a: PhysAddr,
+        keep: NodeId,
+        wb: &mut WritebackAcc,
+        writeback_dirty: bool,
+    ) {
+        for (i, llc) in self.llcs.iter_mut().enumerate() {
+            if i == keep.0 {
+                continue;
+            }
+            if let Some(LineState::Modified) = llc.invalidate(a) {
+                if writeback_dirty {
+                    wb.add(a.home(), 1);
+                }
+            }
+        }
+    }
+
+    fn invalidate_all_peers(&mut self, a: PhysAddr, keep: NodeId) {
+        for (i, llc) in self.llcs.iter_mut().enumerate() {
+            if i != keep.0 {
+                llc.invalidate(a);
+            }
+        }
+    }
+
+    fn flush_writebacks(&mut self, now: Time, from: NodeId, wb: &WritebackAcc) {
+        for (node, lines) in wb.per_node.iter().enumerate() {
+            if *lines > 0 {
+                let bytes = lines * LINE_BYTES;
+                self.dram[node].write(now, bytes);
+                if node != from.0 {
+                    self.qpi.transfer(now, from, NodeId(node), bytes);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WritebackAcc {
+    per_node: Vec<u64>,
+}
+
+impl WritebackAcc {
+    fn add(&mut self, node: NodeId, lines: u64) {
+        if self.per_node.len() <= node.0 {
+            self.per_node.resize(node.0 + 1, 0);
+        }
+        self.per_node[node.0] += lines;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemSystem {
+        MemSystem::new(MemConfig::dual_socket_broadwell())
+    }
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    #[test]
+    fn local_ddio_write_avoids_dram() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        m.dma_write(Time::ZERO, N0, buf, 1500);
+        let c = m.counters();
+        assert_eq!(c.dram_write_bytes(N0), 0, "DDIO write must stay in LLC");
+        assert_eq!(c.interconnect_bytes, 0);
+    }
+
+    #[test]
+    fn remote_dma_write_hits_dram_and_qpi() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        m.dma_write(Time::ZERO, N1, buf, 1500);
+        let c = m.counters();
+        assert!(c.dram_write_bytes(N0) >= 1500);
+        assert!(c.interconnect_bytes >= 1500);
+    }
+
+    #[test]
+    fn ddio_off_local_write_goes_to_dram() {
+        let mut m = mem();
+        m.set_ddio(false);
+        let buf = m.alloc(N0, 4096);
+        m.dma_write(Time::ZERO, N0, buf, 1500);
+        assert!(m.counters().dram_write_bytes(N0) >= 1500);
+    }
+
+    #[test]
+    fn cpu_read_after_local_ddio_write_hits_llc() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        m.dma_write(Time::ZERO, N0, buf, 1500);
+        m.reset_counters();
+        let stall = m.cpu_read(Time::ZERO, N0, buf, 1500, AccessKind::Stream);
+        assert_eq!(m.counters().total_dram_bytes(), 0, "all hits");
+        assert!(stall < Dur::from_ns(60), "LLC-speed copy, got {stall}");
+    }
+
+    #[test]
+    fn cpu_read_after_remote_dma_write_misses_to_dram() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        // Device on node 1 writes node 0's buffer: no DDIO, data in DRAM.
+        m.dma_write(Time::ZERO, N1, buf, 1500);
+        m.reset_counters();
+        let stall = m.cpu_read(Time::ZERO, N0, buf, 1500, AccessKind::Stream);
+        assert!(m.counters().dram_read_bytes(N0) >= 1500);
+        assert!(stall > Dur::from_ns(30), "must stall on DRAM, got {stall}");
+    }
+
+    #[test]
+    fn remote_dma_read_consumes_dram_despite_llc_hit() {
+        // Figure 7's observation: remote Tx memory bandwidth equals the
+        // throughput — DRAM is probed in parallel even on LLC hits.
+        let mut m = mem();
+        let buf = m.alloc(N0, 65536);
+        // CPU writes the payload: lines are Modified in LLC0.
+        m.cpu_write(Time::ZERO, N0, buf, 4096, AccessKind::Stream);
+        m.reset_counters();
+        m.dma_read(Time::ZERO, N1, buf, 4096);
+        let c = m.counters();
+        assert!(
+            c.dram_read_bytes(N0) >= 4096,
+            "parallel probe consumes DRAM"
+        );
+        // ... and the line must NOT have been invalidated.
+        m.reset_counters();
+        let stall = m.cpu_read(Time::ZERO, N0, buf, 4096, AccessKind::Stream);
+        assert_eq!(m.counters().total_dram_bytes(), 0, "line still cached");
+        assert!(stall < Dur::from_ns(100));
+    }
+
+    #[test]
+    fn local_dma_read_of_cached_data_avoids_dram() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 65536);
+        m.cpu_write(Time::ZERO, N0, buf, 4096, AccessKind::Stream);
+        m.reset_counters();
+        m.dma_read(Time::ZERO, N0, buf, 4096);
+        assert_eq!(m.counters().dram_read_bytes(N0), 0);
+    }
+
+    #[test]
+    fn remote_dma_write_invalidates_cached_line() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        m.cpu_write(Time::ZERO, N0, buf, 64, AccessKind::Pointer);
+        m.dma_write(Time::ZERO, N1, buf, 64);
+        m.reset_counters();
+        // Next CPU read must go to DRAM.
+        m.cpu_read(Time::ZERO, N0, buf, 64, AccessKind::Pointer);
+        assert!(m.counters().dram_read_bytes(N0) >= 64);
+    }
+
+    #[test]
+    fn pointer_read_exposes_more_latency_than_stream() {
+        let mut m = mem();
+        let a = m.alloc(N0, 1 << 20);
+        let b = m.alloc(N0, 1 << 20);
+        let p = m.cpu_read(Time::ZERO, N0, a, 64, AccessKind::Pointer);
+        let s = m.cpu_read(Time::ZERO, N0, b, 64, AccessKind::Stream);
+        assert!(p > s, "pointer {p} vs stream {s}");
+    }
+
+    #[test]
+    fn remote_cpu_read_crosses_qpi() {
+        let mut m = mem();
+        let buf = m.alloc(N1, 4096);
+        let stall = m.cpu_read(Time::ZERO, N0, buf, 64, AccessKind::Pointer);
+        let c = m.counters();
+        assert!(c.interconnect_bytes >= 64);
+        assert!(c.dram_read_bytes(N1) >= 64);
+        // Remote miss must cost more than a local one.
+        let local = m.alloc(N0, 4096);
+        let local_stall = m.cpu_read(Time::ZERO, N0, local, 64, AccessKind::Pointer);
+        assert!(stall > local_stall);
+    }
+
+    #[test]
+    fn dirty_line_migrates_between_sockets() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        m.cpu_write(Time::ZERO, N0, buf, 64, AccessKind::Pointer);
+        m.reset_counters();
+        // Node 1 reads the dirty line: cache-to-cache, writeback to home.
+        m.cpu_read(Time::ZERO, N1, buf, 64, AccessKind::Pointer);
+        let c = m.counters();
+        assert!(c.dram_write_bytes(N0) >= 64, "implicit writeback");
+        // Both sockets now share it; a re-read on node 0 hits.
+        m.reset_counters();
+        m.cpu_read(Time::ZERO, N0, buf, 64, AccessKind::Pointer);
+        assert_eq!(m.counters().total_dram_bytes(), 0);
+    }
+
+    #[test]
+    fn stream_through_consumes_bandwidth_without_caching() {
+        let mut m = mem();
+        let stall = m.cpu_stream_through(Time::ZERO, N0, N1, 1 << 20, false);
+        let c = m.counters();
+        assert!(c.dram_read_bytes(N1) >= 1 << 20);
+        assert!(c.interconnect_bytes >= 1 << 20);
+        assert!(
+            stall > Dur::from_us(20),
+            "1 MiB over QPI takes a while: {stall}"
+        );
+    }
+
+    #[test]
+    fn congested_qpi_slows_remote_dma() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 1 << 20);
+        let quiet = m.dma_write(Time::ZERO, N1, buf, 1500);
+        // Saturate the device->home direction (node1 -> node0) with ~1 ms of
+        // writes from a STREAM-like antagonist on node 1 targeting node 0.
+        m.cpu_stream_through(Time::ZERO, N1, N0, 38_400_000, true);
+        let buf2 = m.alloc(N0, 1 << 20);
+        let congested = m.dma_write(Time::ZERO, N1, buf2, 1500);
+        assert!(
+            congested > quiet * 10,
+            "congestion must slow remote DMA: quiet={quiet} congested={congested}"
+        );
+    }
+
+    #[test]
+    fn mmio_and_interrupt_hops() {
+        let m = mem();
+        assert_eq!(m.mmio_extra_hops(N0, N0), Dur::ZERO);
+        assert!(m.mmio_extra_hops(N0, N1) > Dur::ZERO);
+        assert_eq!(m.interrupt_extra_hops(N1, N0), m.mmio_extra_hops(N0, N1));
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 4096);
+        m.dma_write(Time::ZERO, N1, buf, 1500);
+        assert!(m.counters().total_dram_bytes() > 0);
+        m.reset_counters();
+        assert_eq!(m.counters().total_dram_bytes(), 0);
+        assert_eq!(m.counters().interconnect_bytes, 0);
+    }
+
+    #[test]
+    fn zero_length_accesses_free() {
+        let mut m = mem();
+        let buf = m.alloc(N0, 64);
+        assert_eq!(
+            m.cpu_read(Time::ZERO, N0, buf, 0, AccessKind::Pointer),
+            Dur::ZERO
+        );
+        assert_eq!(m.dma_write(Time::ZERO, N0, buf, 0), Dur::ZERO);
+        assert_eq!(m.dma_read(Time::ZERO, N0, buf, 0), Dur::ZERO);
+    }
+}

@@ -1,0 +1,196 @@
+//! NUMA topology: nodes, cores, and the physical address map.
+
+use std::fmt;
+
+/// Identifies a NUMA node (socket). The paper's testbed has two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A physical memory address.
+///
+/// The address space is striped by node: node `n` owns the range
+/// `[n << NODE_SHIFT, (n + 1) << NODE_SHIFT)`, so the home node of an address
+/// is recoverable without a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(pub u64);
+
+/// Bits of address space per node (1 TiB).
+pub const NODE_SHIFT: u32 = 40;
+/// Cache line size in bytes; everything in the model is line-granular.
+pub const LINE_BYTES: u64 = 64;
+
+impl PhysAddr {
+    /// The home NUMA node of this address.
+    pub fn home(self) -> NodeId {
+        NodeId((self.0 >> NODE_SHIFT) as usize)
+    }
+
+    /// The address of the cache line containing this address.
+    pub fn line(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+
+    /// Byte offset within its cache line.
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// This address advanced by `off` bytes.
+    pub fn offset(self, off: u64) -> PhysAddr {
+        PhysAddr(self.0 + off)
+    }
+
+    /// Number of cache lines an access of `len` bytes starting here touches.
+    pub fn lines_spanned(self, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = self.line();
+        let last = PhysAddr(self.0 + len - 1).line();
+        last - first + 1
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}@{}", self.0, self.home())
+    }
+}
+
+/// Static description of the machine's NUMA layout.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: usize,
+    cores_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `nodes` sockets of `cores_per_node` cores.
+    ///
+    /// # Panics
+    /// Panics if either count is zero or if `nodes` exceeds the address-map
+    /// capacity.
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes > 0, "at least one node required");
+        assert!(cores_per_node > 0, "at least one core per node required");
+        assert!(nodes < 1 << 8, "too many nodes for the address map");
+        Topology {
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    /// Number of NUMA nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Total cores in the machine.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// The node that owns global core index `core`.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn node_of_core(&self, core: usize) -> NodeId {
+        assert!(core < self.total_cores(), "core {core} out of range");
+        NodeId(core / self.cores_per_node)
+    }
+
+    /// Global core indices belonging to `node`.
+    pub fn cores_of(&self, node: NodeId) -> std::ops::Range<usize> {
+        let start = node.0 * self.cores_per_node;
+        start..start + self.cores_per_node
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn address_home_striping() {
+        assert_eq!(PhysAddr(0).home(), NodeId(0));
+        assert_eq!(PhysAddr(1 << NODE_SHIFT).home(), NodeId(1));
+        assert_eq!(PhysAddr((1 << NODE_SHIFT) + 12345).home(), NodeId(1));
+    }
+
+    #[test]
+    fn line_math() {
+        assert_eq!(PhysAddr(0).line(), 0);
+        assert_eq!(PhysAddr(63).line(), 0);
+        assert_eq!(PhysAddr(64).line(), 1);
+        assert_eq!(PhysAddr(65).line_offset(), 1);
+    }
+
+    #[test]
+    fn lines_spanned_edges() {
+        assert_eq!(PhysAddr(0).lines_spanned(0), 0);
+        assert_eq!(PhysAddr(0).lines_spanned(1), 1);
+        assert_eq!(PhysAddr(0).lines_spanned(64), 1);
+        assert_eq!(PhysAddr(0).lines_spanned(65), 2);
+        assert_eq!(PhysAddr(60).lines_spanned(8), 2);
+        assert_eq!(PhysAddr(0).lines_spanned(1500), 24);
+    }
+
+    #[test]
+    fn topology_core_mapping() {
+        let t = Topology::new(2, 14);
+        assert_eq!(t.total_cores(), 28);
+        assert_eq!(t.node_of_core(0), NodeId(0));
+        assert_eq!(t.node_of_core(13), NodeId(0));
+        assert_eq!(t.node_of_core(14), NodeId(1));
+        assert_eq!(t.cores_of(NodeId(1)), 14..28);
+        assert_eq!(t.node_ids().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_out_of_range() {
+        Topology::new(2, 2).node_of_core(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        Topology::new(0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lines_spanned_matches_naive(addr in 0u64..10_000, len in 0u64..10_000) {
+            let a = PhysAddr(addr);
+            let naive = if len == 0 {
+                0
+            } else {
+                ((addr + len - 1) / LINE_BYTES) - (addr / LINE_BYTES) + 1
+            };
+            prop_assert_eq!(a.lines_spanned(len), naive);
+        }
+
+        #[test]
+        fn prop_offset_preserves_home(node in 0usize..4, off in 0u64..(1 << 30)) {
+            let base = PhysAddr((node as u64) << NODE_SHIFT);
+            prop_assert_eq!(base.offset(off).home(), NodeId(node));
+        }
+    }
+}

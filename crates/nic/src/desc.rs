@@ -1,0 +1,145 @@
+//! Descriptors: the I/O requests the OS posts and the completions the
+//! device writes back (§2.3).
+
+use memsys::PhysAddr;
+
+use crate::flow::FlowTuple;
+
+/// Size of one work descriptor in host memory (a Mellanox WQE).
+pub const DESC_BYTES: u64 = 64;
+/// Size of one completion entry in host memory (a CQE). Reading one of
+/// these from DRAM after a remote DMA write "costs about 80 ns, which is
+/// essentially the delta between the per-packet costs of ioct/local and
+/// remote" (§5.1.1).
+pub const CQE_BYTES: u64 = 64;
+
+/// One fragment of a transmit payload.
+///
+/// `pf_hint` is the IOctoSG extension (§3.3): for payloads spanning NUMA
+/// nodes, the driver can tell the device which PF to fetch each fragment
+/// through, so every fragment DMA stays node-local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxFragment {
+    /// Fragment start.
+    pub addr: PhysAddr,
+    /// Fragment length in bytes.
+    pub len: u64,
+    /// IOctoSG per-fragment PF hint (`None` = use the queue's PF).
+    pub pf_hint: Option<pcie::PfId>,
+}
+
+impl TxFragment {
+    /// A fragment without an IOctoSG hint.
+    pub fn plain(addr: PhysAddr, len: u64) -> Self {
+        TxFragment {
+            addr,
+            len,
+            pf_hint: None,
+        }
+    }
+}
+
+/// A transmit work descriptor: one *wire packet* (post-TSO segmentation is
+/// performed by the device; see [`crate::tso`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxDesc {
+    /// Payload fragments (usually one).
+    pub fragments: Vec<TxFragment>,
+    /// The flow this packet belongs to.
+    pub flow: FlowTuple,
+    /// Total payload bytes across fragments, pre-segmentation. Up to 64 KiB
+    /// with TSO.
+    pub len: u64,
+    /// TSO: segment into MTU-sized wire packets on the device.
+    pub tso: bool,
+}
+
+impl TxDesc {
+    /// A simple single-fragment descriptor.
+    pub fn simple(addr: PhysAddr, len: u64, flow: FlowTuple, tso: bool) -> Self {
+        TxDesc {
+            fragments: vec![TxFragment::plain(addr, len)],
+            flow,
+            len,
+            tso,
+        }
+    }
+
+    /// Validates internal consistency (fragment lengths sum to `len`).
+    pub fn is_consistent(&self) -> bool {
+        self.fragments.iter().map(|f| f.len).sum::<u64>() == self.len && self.len > 0
+    }
+}
+
+/// A receive work descriptor: an empty buffer the kernel posted for the
+/// device to fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxDesc {
+    /// Buffer start (kernel-allocated, node-local to the queue).
+    pub addr: PhysAddr,
+    /// Buffer capacity in bytes (≥ MTU).
+    pub len: u64,
+}
+
+/// A completion entry the device DMA-writes after servicing a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Per-flow sequence number of the packet (Rx: stamped by the sender;
+    /// used to detect out-of-order delivery across steering updates).
+    pub seq: u64,
+    /// Flow of the completed packet.
+    pub flow: FlowTuple,
+    /// For Rx: the buffer that now holds the packet.
+    pub buffer: Option<RxDesc>,
+    /// When the entry became visible in host memory. The driver must not
+    /// observe it earlier — NAPI paces itself with these landings, which is
+    /// how congested DMA paths slow the consumer.
+    pub landed_at: simcore::Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowTuple {
+        FlowTuple::tcp(1, 2, 3, 4)
+    }
+
+    #[test]
+    fn simple_desc_is_consistent() {
+        let d = TxDesc::simple(PhysAddr(0), 1500, flow(), false);
+        assert!(d.is_consistent());
+        assert_eq!(d.fragments.len(), 1);
+        assert_eq!(d.fragments[0].pf_hint, None);
+    }
+
+    #[test]
+    fn inconsistent_fragments_detected() {
+        let mut d = TxDesc::simple(PhysAddr(0), 1500, flow(), false);
+        d.fragments[0].len = 100;
+        assert!(!d.is_consistent());
+    }
+
+    #[test]
+    fn zero_length_is_inconsistent() {
+        let d = TxDesc {
+            fragments: vec![],
+            flow: flow(),
+            len: 0,
+            tso: false,
+        };
+        assert!(!d.is_consistent());
+    }
+
+    #[test]
+    fn ioctosg_fragment_carries_hint() {
+        let f = TxFragment {
+            addr: PhysAddr(0),
+            len: 64,
+            pf_hint: Some(pcie::PfId(1)),
+        };
+        assert_eq!(f.pf_hint, Some(pcie::PfId(1)));
+    }
+}

@@ -1,0 +1,875 @@
+//! The NIC device model: queues, DMA pipelines, steering, interrupts.
+//!
+//! One [`Nic`] instance models the server's adapter — either a conventional
+//! NIC (every PF a separate logical device, MAC-steered) or the octoNIC
+//! (one MAC, IOctoRFS flow steering). The difference is *only* firmware
+//! state ([`SteeringMode`]) plus which driver manages it, exactly as in the
+//! paper (§4.1: "By loading our IOctopus firmware, we can turn the server's
+//! NIC into an octoNIC").
+
+use memsys::{MemSystem, NodeId, PhysAddr};
+use pcie::{PcieFabric, PfId};
+use simcore::{Dur, Time};
+
+use crate::desc::{Completion, RxDesc, TxDesc, CQE_BYTES, DESC_BYTES};
+use crate::flow::{FlowTuple, MacAddr};
+use crate::mpfs::{Mpfs, SteeringMode};
+use crate::ring::DescRing;
+use crate::steering::ArfsTable;
+use crate::tso;
+use crate::wire::{Wire, WireConfig};
+
+/// Identifies one queue pair (Tx + Rx rings and their completion queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub usize);
+
+impl std::fmt::Display for QueueId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Device-wide parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Wire MTU.
+    pub mtu: u64,
+    /// TCP MSS (MTU minus IP/TCP headers).
+    pub mss: u64,
+    /// Ring capacity (descriptors per ring).
+    pub ring_entries: usize,
+    /// Per-packet device pipeline latency (parse, steer, schedule).
+    pub processing_delay: Dur,
+    /// Interrupt moderation delay: time from completion to MSI-X fire while
+    /// armed. Zero models §5.1.2's "disable adaptive interrupt coalescing".
+    pub irq_delay: Dur,
+    /// Steering firmware.
+    pub steering: SteeringMode,
+    /// Wire parameters.
+    pub wire: WireConfig,
+}
+
+impl NicConfig {
+    /// The paper's server NIC as shipped (standard firmware).
+    pub fn standard_100g() -> Self {
+        NicConfig {
+            mtu: crate::wire::MTU,
+            mss: crate::wire::MSS,
+            ring_entries: 1024,
+            processing_delay: Dur::from_ns(10),
+            irq_delay: Dur::from_us(8),
+            steering: SteeringMode::MacBased,
+            wire: WireConfig::back_to_back_100g(),
+        }
+    }
+
+    /// The same hardware after loading the IOctopus firmware.
+    pub fn octonic_100g() -> Self {
+        NicConfig {
+            steering: SteeringMode::FlowBased,
+            ..Self::standard_100g()
+        }
+    }
+}
+
+/// Static configuration of one queue pair.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// The PCIe endpoint this queue's DMA flows through.
+    pub pf: PfId,
+    /// The core whose interrupts service this queue.
+    pub irq_core: usize,
+    /// The NUMA node the queue's rings and buffers live on.
+    pub node: NodeId,
+}
+
+#[derive(Debug)]
+struct Queue {
+    cfg: QueueConfig,
+    tx_ring: DescRing<TxDesc>,
+    tx_cq: DescRing<Completion>,
+    rx_ring: DescRing<RxDesc>,
+    rx_cq: DescRing<Completion>,
+    irq_armed: bool,
+    busy_until: Time,
+}
+
+/// What happened to an arriving wire packet.
+#[derive(Debug, Clone)]
+pub enum RxOutcome {
+    /// Delivered into a posted buffer; a completion entry was written.
+    Delivered {
+        /// Queue the packet landed on.
+        queue: QueueId,
+        /// PF the DMA went through (for per-PF accounting).
+        pf: PfId,
+        /// When the payload + CQE writes finished.
+        done_at: Time,
+        /// MSI-X delivery, if one fired: `(time, target core)`.
+        irq: Option<(Time, usize)>,
+    },
+    /// No posted Rx buffer — the packet was dropped.
+    DroppedNoBuffer {
+        /// Queue whose ring was empty.
+        queue: QueueId,
+    },
+}
+
+/// Result of processing a Tx doorbell.
+#[derive(Debug, Clone, Default)]
+pub struct TxOutcome {
+    /// Wire packets sent: `(arrival time at peer, flow, payload bytes)`.
+    pub packets: Vec<(Time, FlowTuple, u64)>,
+    /// When each descriptor's completion entry landed in host memory.
+    pub completions: Vec<Time>,
+    /// MSI-X delivery, if one fired: `(time, target core)`.
+    pub irq: Option<(Time, usize)>,
+}
+
+/// The NIC device.
+#[derive(Debug)]
+pub struct Nic {
+    cfg: NicConfig,
+    queues: Vec<Queue>,
+    mpfs: Mpfs,
+    arfs: Vec<ArfsTable>,
+    wire: Wire,
+    pf_count: usize,
+    rx_bytes_per_pf: Vec<u64>,
+    tx_bytes_per_pf: Vec<u64>,
+    rx_dropped: u64,
+}
+
+impl Nic {
+    /// Creates the device with `pf_count` physical functions. `default_pf`
+    /// catches traffic no steering rule matches.
+    pub fn new(cfg: NicConfig, pf_count: usize, default_pf: PfId) -> Self {
+        assert!(pf_count > 0, "a NIC needs at least one PF");
+        assert!(default_pf.0 < pf_count, "default PF out of range");
+        Nic {
+            mpfs: Mpfs::new(cfg.steering, default_pf),
+            cfg,
+            queues: Vec::new(),
+            arfs: vec![ArfsTable::new(Dur::from_ms(500)); pf_count],
+            wire: Wire::new(cfg.wire),
+            pf_count,
+            rx_bytes_per_pf: vec![0; pf_count],
+            tx_bytes_per_pf: vec![0; pf_count],
+            rx_dropped: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// The integrated multi-PF switch (firmware steering state).
+    pub fn mpfs_mut(&mut self) -> &mut Mpfs {
+        &mut self.mpfs
+    }
+
+    /// Read access to the switch.
+    pub fn mpfs(&self) -> &Mpfs {
+        &self.mpfs
+    }
+
+    /// Registers a queue pair whose rings live at the given host addresses
+    /// (allocated by the driver, node-local to the queue's CPU — §2.3 "Q's
+    /// memory is allocated from C's node").
+    pub fn attach_queue(
+        &mut self,
+        cfg: QueueConfig,
+        tx_ring_base: PhysAddr,
+        tx_cq_base: PhysAddr,
+        rx_ring_base: PhysAddr,
+        rx_cq_base: PhysAddr,
+    ) -> QueueId {
+        assert!(cfg.pf.0 < self.pf_count, "queue references unknown PF");
+        let n = self.cfg.ring_entries;
+        let id = QueueId(self.queues.len());
+        // Completion queues are sized 4x the work rings: buffers recycle
+        // through the rings faster than NAPI drains under bursts, so more
+        // completions than ring slots can be outstanding.
+        self.queues.push(Queue {
+            cfg,
+            tx_ring: DescRing::new(tx_ring_base, DESC_BYTES, n),
+            tx_cq: DescRing::new(tx_cq_base, CQE_BYTES, n * 4),
+            rx_ring: DescRing::new(rx_ring_base, DESC_BYTES, n),
+            rx_cq: DescRing::new(rx_cq_base, CQE_BYTES, n * 4),
+            irq_armed: true,
+            busy_until: Time::ZERO,
+        });
+        id
+    }
+
+    /// Number of attached queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The static configuration of `q`.
+    pub fn queue_config(&self, q: QueueId) -> QueueConfig {
+        self.queue(q).cfg
+    }
+
+    /// Installs an ARFS rule on `pf`: packets of `flow` arriving at that PF
+    /// go to `queue`.
+    pub fn arfs_install(&mut self, now: Time, pf: PfId, flow: FlowTuple, queue: QueueId) {
+        self.arfs[pf.0].install(now, flow, queue);
+    }
+
+    /// Expires idle ARFS rules on every PF; returns the total removed.
+    pub fn arfs_expire(&mut self, now: Time) -> usize {
+        self.arfs.iter_mut().map(|t| t.expire(now)).sum()
+    }
+
+    /// The driver posts an Rx buffer to `q`'s ring. Returns the slot address
+    /// written (the driver charges its own `cpu_write`), or `None` if full.
+    pub fn post_rx(&mut self, q: QueueId, desc: RxDesc) -> Option<PhysAddr> {
+        self.queue_mut(q).rx_ring.post(desc)
+    }
+
+    /// The driver posts a Tx descriptor. Returns the slot address, or
+    /// `None` if the ring is full.
+    pub fn post_tx(&mut self, q: QueueId, desc: TxDesc) -> Option<PhysAddr> {
+        assert!(desc.is_consistent(), "malformed Tx descriptor");
+        self.queue_mut(q).tx_ring.post(desc)
+    }
+
+    /// Outstanding Tx descriptors on `q` (drained by doorbells).
+    pub fn tx_backlog(&self, q: QueueId) -> usize {
+        self.queue(q).tx_ring.len()
+    }
+
+    /// Posted Rx buffers available on `q`.
+    pub fn rx_buffers_available(&self, q: QueueId) -> usize {
+        self.queue(q).rx_ring.len()
+    }
+
+    /// The driver consumes one completion from `q`'s Rx CQ, if any.
+    /// Returns the CQE address (for the driver's `cpu_read` charge) and the
+    /// completion.
+    pub fn pop_rx_completion(&mut self, q: QueueId) -> Option<(PhysAddr, Completion)> {
+        self.queue_mut(q).rx_cq.consume()
+    }
+
+    /// The driver consumes one Tx completion, if any.
+    pub fn pop_tx_completion(&mut self, q: QueueId) -> Option<(PhysAddr, Completion)> {
+        self.queue_mut(q).tx_cq.consume()
+    }
+
+    /// When the oldest un-reaped Rx completion becomes visible in host
+    /// memory, if any.
+    pub fn rx_landing(&self, q: QueueId) -> Option<Time> {
+        self.queue(q).rx_cq.peek().map(|c| c.landed_at)
+    }
+
+    /// When the oldest un-reaped Tx completion becomes visible, if any.
+    pub fn tx_landing(&self, q: QueueId) -> Option<Time> {
+        self.queue(q).tx_cq.peek().map(|c| c.landed_at)
+    }
+
+    /// Re-arms `q`'s interrupt (NAPI poll finished and found nothing).
+    pub fn rearm_irq(&mut self, q: QueueId) {
+        self.queue_mut(q).irq_armed = true;
+    }
+
+    /// Whether `q` currently has completions waiting in its Rx CQ.
+    pub fn rx_cq_depth(&self, q: QueueId) -> usize {
+        self.queue(q).rx_cq.len()
+    }
+
+    /// Whether `q`'s Tx CQ has unreaped completions.
+    pub fn tx_cq_depth(&self, q: QueueId) -> usize {
+        self.queue(q).tx_cq.len()
+    }
+
+    /// Whether `q`'s interrupt is currently armed (diagnostics).
+    pub fn irq_armed(&self, q: QueueId) -> bool {
+        self.queue(q).irq_armed
+    }
+
+    /// Processes a Tx doorbell: drains every posted descriptor on `q`,
+    /// performing descriptor fetches, payload DMA reads (TSO-segmented),
+    /// wire transmission, and completion writes.
+    ///
+    /// `doorbell_at` should already include the driver's MMIO cost and sets
+    /// the pipeline chronology; `reserve_at` is the *event time* the caller
+    /// is executing at, used for all shared-resource reservations (bandwidth
+    /// must never be reserved at chained future times — that pushes FIFO
+    /// horizons ahead of concurrent traffic and destabilizes the model).
+    pub fn tx_doorbell(
+        &mut self,
+        doorbell_at: Time,
+        reserve_at: Time,
+        q: QueueId,
+        fabric: &mut PcieFabric,
+        mem: &mut MemSystem,
+    ) -> TxOutcome {
+        let mut out = TxOutcome::default();
+        let (pf, irq_core, node) = {
+            let qq = self.queue(q);
+            (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node)
+        };
+        // The engine is pipelined: it spends `processing_delay` of occupancy
+        // per descriptor while the DMA latencies of consecutive packets
+        // overlap (bandwidth is still serialized inside the PCIe links).
+        let mut engine = doorbell_at.max(self.queue(q).busy_until);
+        let mut t = engine;
+
+        while let Some((slot_addr, desc)) = self.queue_mut(q).tx_ring.consume() {
+            engine += self.cfg.processing_delay;
+            // Fetch the work descriptor from host memory. Bandwidth is
+            // reserved at the doorbell's event time: feeding chained
+            // (future) completion times back into shared-link FIFOs would
+            // let congested chains starve near-term traffic.
+            let d_desc = fabric.dma_read(reserve_at, pf, mem, slot_addr, DESC_BYTES);
+
+            // Read the payload. IOctoSG (§3.3): fragments may carry a PF
+            // hint so cross-node payloads are fetched through the local PF.
+            // FIFO on the link: slowest component bounds readiness.
+            let mut slowest = d_desc;
+            for frag in &desc.fragments {
+                let frag_pf = frag.pf_hint.unwrap_or(pf);
+                let d = fabric.dma_read(reserve_at, frag_pf, mem, frag.addr, frag.len);
+                slowest = slowest.max(d);
+            }
+            t = engine + slowest;
+
+            // Segment onto the wire.
+            let segments = if desc.tso {
+                tso::segment(desc.len, self.cfg.mss)
+            } else {
+                vec![desc.len]
+            };
+            for seg in segments {
+                let arrive = self.wire.send_tx(t, seg);
+                self.tx_bytes_per_pf[pf.0] += seg;
+                out.packets.push((arrive, desc.flow, seg));
+            }
+
+            // Completion entry.
+            let Some(cq_slot) = self.queue(q).tx_cq.next_slot_addr() else {
+                // CQ full: completion coalesced onto the oldest outstanding
+                // entry (real hardware cannot overrun its CQ because the
+                // driver sizes it to the ring).
+                out.completions.push(t);
+                continue;
+            };
+            let cqe_done = t + fabric.dma_write(reserve_at, pf, mem, cq_slot, CQE_BYTES);
+            self.queue_mut(q)
+                .tx_cq
+                .post(Completion {
+                    bytes: desc.len,
+                    seq: 0,
+                    flow: desc.flow,
+                    buffer: None,
+                    landed_at: cqe_done,
+                })
+                .expect("slot checked above");
+            out.completions.push(cqe_done);
+            t = t.max(engine);
+        }
+
+        // The interrupt is triggered by the FIRST completion written while
+        // armed (moderated by irq_delay); NAPI then paces itself with the
+        // later landings.
+        if !out.completions.is_empty() && self.queue(q).irq_armed {
+            self.queue_mut(q).irq_armed = false;
+            let first = out.completions.iter().copied().min().unwrap_or(t);
+            let fire = first + self.cfg.irq_delay;
+            let lat = fabric.interrupt(reserve_at, pf, mem, node);
+            out.irq = Some((fire + lat, irq_core));
+        }
+        self.queue_mut(q).busy_until = engine;
+        out
+    }
+
+    /// Handles a packet arriving from the wire at `now` (already including
+    /// wire serialization — the caller reserved [`Wire::send_rx`]).
+    ///
+    /// Steering: MPFS picks the PF (by MAC or by IOctoRFS flow rule), the
+    /// PF's ARFS table picks the queue, RSS hashes as a fallback.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_wire_packet(
+        &mut self,
+        now: Time,
+        dst_mac: MacAddr,
+        flow: FlowTuple,
+        payload: u64,
+        seq: u64,
+        fabric: &mut PcieFabric,
+        mem: &mut MemSystem,
+    ) -> RxOutcome {
+        let pf = self.mpfs.steer(dst_mac, &flow);
+        let q = match self.arfs[pf.0].steer(now, &flow) {
+            Some(q) => q,
+            None => self.rss_fallback(pf, &flow),
+        };
+        let (qpf, irq_core, node) = {
+            let qq = self.queue(q);
+            (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node)
+        };
+        // Pipelined Rx engine: `processing_delay` of per-packet occupancy;
+        // descriptor prefetch + payload/CQE DMA latencies overlap across
+        // packets (bandwidth still serializes inside the PCIe links).
+        let engine = now.max(self.queue(q).busy_until) + self.cfg.processing_delay;
+
+        // Pop a posted buffer.
+        let (rx_slot, buf) = match self.queue_mut(q).rx_ring.consume() {
+            Some(x) => x,
+            None => {
+                self.rx_dropped += 1;
+                return RxOutcome::DroppedNoBuffer { queue: q };
+            }
+        };
+        debug_assert!(buf.len >= payload, "posted buffer smaller than MTU packet");
+        // Fetch the Rx descriptor, write the payload, write the CQE.
+        // Bandwidth reserved at the arrival time (see tx_doorbell). The
+        // three DMAs of one packet queue FIFO on the endpoint's link, so
+        // the slowest component (whose duration already includes the
+        // backlog of the earlier ones) bounds delivery; summing would
+        // charge the same queue delay multiple times.
+        let d_desc = fabric.dma_read(now, qpf, mem, rx_slot, DESC_BYTES);
+        let d_payload = fabric.dma_write(now, qpf, mem, buf.addr, payload);
+        let cq_slot = self
+            .queue(q)
+            .rx_cq
+            .next_slot_addr()
+            .expect("Rx CQ sized to ring; cannot overrun");
+        let d_cqe = fabric.dma_write(now, qpf, mem, cq_slot, CQE_BYTES);
+        let t = engine + d_desc.max(d_payload).max(d_cqe);
+        self.queue_mut(q)
+            .rx_cq
+            .post(Completion {
+                bytes: payload,
+                seq,
+                flow,
+                buffer: Some(buf),
+                landed_at: t,
+            })
+            .expect("slot checked above");
+        self.rx_bytes_per_pf[qpf.0] += payload;
+        self.queue_mut(q).busy_until = engine;
+
+        let irq = if self.queue(q).irq_armed {
+            self.queue_mut(q).irq_armed = false;
+            let fire = t + self.cfg.irq_delay;
+            let lat = fabric.interrupt(now, qpf, mem, node);
+            Some((fire + lat, irq_core))
+        } else {
+            None
+        };
+        RxOutcome::Delivered {
+            queue: q,
+            pf: qpf,
+            done_at: t,
+            irq,
+        }
+    }
+
+    /// The client→server wire direction (the system uses it to model the
+    /// peer's transmissions).
+    pub fn wire_mut(&mut self) -> &mut Wire {
+        &mut self.wire
+    }
+
+    /// Receive bytes that flowed through `pf` since construction (Figure 14
+    /// samples the per-PF difference every 50 ms).
+    pub fn rx_bytes(&self, pf: PfId) -> u64 {
+        self.rx_bytes_per_pf[pf.0]
+    }
+
+    /// Transmit bytes that flowed through `pf`.
+    pub fn tx_bytes(&self, pf: PfId) -> u64 {
+        self.tx_bytes_per_pf[pf.0]
+    }
+
+    /// Packets dropped for lack of a posted Rx buffer.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx_dropped
+    }
+
+    fn rss_fallback(&self, pf: PfId, flow: &FlowTuple) -> QueueId {
+        let candidates: Vec<QueueId> = (0..self.queues.len())
+            .filter(|i| self.queues[*i].cfg.pf == pf)
+            .map(QueueId)
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "no queues attached to {pf}; attach queues before receiving"
+        );
+        candidates[(flow.rss_hash() % candidates.len() as u64) as usize]
+    }
+
+    fn queue(&self, q: QueueId) -> &Queue {
+        self.queues
+            .get(q.0)
+            .unwrap_or_else(|| panic!("unknown queue {q}"))
+    }
+
+    fn queue_mut(&mut self, q: QueueId) -> &mut Queue {
+        self.queues
+            .get_mut(q.0)
+            .unwrap_or_else(|| panic!("unknown queue {q}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::MemConfig;
+    use pcie::{Bifurcation, FabricConfig, PcieGen};
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    struct Rig {
+        mem: MemSystem,
+        fab: PcieFabric,
+        nic: Nic,
+        pfs: Vec<PfId>,
+        q0: QueueId,
+        q1: QueueId,
+    }
+
+    fn rig(mode: SteeringMode) -> Rig {
+        let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut fab = PcieFabric::new(FabricConfig::default());
+        let pfs = fab.add_bifurcated(&Bifurcation::x8x8_dual_socket(PcieGen::Gen3));
+        let cfg = if mode == SteeringMode::FlowBased {
+            NicConfig::octonic_100g()
+        } else {
+            NicConfig::standard_100g()
+        };
+        let mut nic = Nic::new(cfg, 2, pfs[0]);
+        let mk_queue = |nic: &mut Nic, mem: &mut MemSystem, pf: PfId, node: NodeId, core: usize| {
+            let ring_bytes = DESC_BYTES * 1024;
+            let tx = mem.alloc(node, ring_bytes);
+            let txc = mem.alloc(node, ring_bytes);
+            let rx = mem.alloc(node, ring_bytes);
+            let rxc = mem.alloc(node, ring_bytes);
+            nic.attach_queue(
+                QueueConfig {
+                    pf,
+                    irq_core: core,
+                    node,
+                },
+                tx,
+                txc,
+                rx,
+                rxc,
+            )
+        };
+        let q0 = mk_queue(&mut nic, &mut mem, pfs[0], N0, 0);
+        let q1 = mk_queue(&mut nic, &mut mem, pfs[1], N1, 14);
+        nic.mpfs_mut().register_mac(MacAddr::local_admin(0), pfs[0]);
+        nic.mpfs_mut().register_mac(MacAddr::local_admin(1), pfs[1]);
+        Rig {
+            mem,
+            fab,
+            nic,
+            pfs,
+            q0,
+            q1,
+        }
+    }
+
+    fn post_buffers(r: &mut Rig, q: QueueId, node: NodeId, n: usize) {
+        for _ in 0..n {
+            let buf = r.mem.alloc(node, 2048);
+            r.nic
+                .post_rx(
+                    q,
+                    RxDesc {
+                        addr: buf,
+                        len: 2048,
+                    },
+                )
+                .unwrap();
+        }
+    }
+
+    fn flow() -> FlowTuple {
+        FlowTuple::tcp(100, 5000, 200, 80)
+    }
+
+    #[test]
+    fn rx_delivers_into_posted_buffer() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 4);
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        match out {
+            RxOutcome::Delivered {
+                queue,
+                pf,
+                done_at,
+                irq,
+            } => {
+                assert_eq!(queue, r.q0);
+                assert_eq!(pf, r.pfs[0]);
+                assert!(done_at > Time::ZERO);
+                assert!(irq.is_some(), "first packet fires the armed irq");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(r.nic.rx_cq_depth(r.q0), 1);
+        assert_eq!(r.nic.rx_bytes(r.pfs[0]), 1448);
+    }
+
+    #[test]
+    fn rx_without_buffers_drops() {
+        let mut r = rig(SteeringMode::MacBased);
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(matches!(out, RxOutcome::DroppedNoBuffer { .. }));
+        assert_eq!(r.nic.rx_dropped(), 1);
+    }
+
+    #[test]
+    fn irq_moderation_fires_once_until_rearm() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 8);
+        let first = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            100,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        let second = r.nic.on_wire_packet(
+            Time::from_us(1),
+            MacAddr::local_admin(0),
+            flow(),
+            100,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        let irq1 = matches!(first, RxOutcome::Delivered { irq: Some(_), .. });
+        let irq2 = matches!(second, RxOutcome::Delivered { irq: None, .. });
+        assert!(irq1 && irq2, "second completion is coalesced");
+        r.nic.rearm_irq(r.q0);
+        let third = r.nic.on_wire_packet(
+            Time::from_us(2),
+            MacAddr::local_admin(0),
+            flow(),
+            100,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(matches!(third, RxOutcome::Delivered { irq: Some(_), .. }));
+    }
+
+    #[test]
+    fn mac_steering_picks_pf_by_mac() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 4);
+        let q1_ = r.q1;
+        post_buffers(&mut r, q1_, N1, 4);
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(1),
+            flow(),
+            100,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        match out {
+            RxOutcome::Delivered { pf, queue, .. } => {
+                assert_eq!(pf, r.pfs[1]);
+                assert_eq!(queue, r.q1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ioctorfs_moves_flow_between_pfs() {
+        let mut r = rig(SteeringMode::FlowBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 8);
+        let q1_ = r.q1;
+        post_buffers(&mut r, q1_, N1, 8);
+        let one_mac = MacAddr::local_admin(7); // single externally visible MAC
+        r.nic.mpfs_mut().install_flow(flow(), r.pfs[0]);
+        r.nic.arfs_install(Time::ZERO, r.pfs[0], flow(), r.q0);
+        let a = r
+            .nic
+            .on_wire_packet(Time::ZERO, one_mac, flow(), 100, 0, &mut r.fab, &mut r.mem);
+        assert!(matches!(a, RxOutcome::Delivered { pf, .. } if pf == r.pfs[0]));
+        // Process migrated: the driver updates IOctoRFS + the new PF's ARFS.
+        r.nic.mpfs_mut().install_flow(flow(), r.pfs[1]);
+        r.nic.arfs_install(Time::ZERO, r.pfs[1], flow(), r.q1);
+        let b = r.nic.on_wire_packet(
+            Time::from_us(5),
+            one_mac,
+            flow(),
+            100,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(
+            matches!(b, RxOutcome::Delivered { pf, queue, .. } if pf == r.pfs[1] && queue == r.q1)
+        );
+    }
+
+    #[test]
+    fn local_rx_faster_than_remote_rx() {
+        // The NUDMA effect at device level: same packet, buffer on node 0,
+        // via the node-0 PF vs the node-1 PF.
+        let mut rl = rig(SteeringMode::MacBased);
+        let q0_ = rl.q0;
+        post_buffers(&mut rl, q0_, N0, 4);
+        let local = match rl.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut rl.fab,
+            &mut rl.mem,
+        ) {
+            RxOutcome::Delivered { done_at, .. } => done_at,
+            o => panic!("{o:?}"),
+        };
+        let mut rr = rig(SteeringMode::MacBased);
+        // Queue q1 rides PF1 (node 1) but we give it node-0 buffers: every
+        // payload DMA crosses the socket.
+        let q1_ = rr.q1;
+        post_buffers(&mut rr, q1_, N0, 4);
+        let remote = match rr.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(1),
+            flow(),
+            1448,
+            0,
+            &mut rr.fab,
+            &mut rr.mem,
+        ) {
+            RxOutcome::Delivered { done_at, .. } => done_at,
+            o => panic!("{o:?}"),
+        };
+        assert!(remote > local, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn tx_doorbell_sends_and_completes() {
+        let mut r = rig(SteeringMode::MacBased);
+        let payload = r.mem.alloc(N0, 4096);
+        r.nic
+            .post_tx(r.q0, TxDesc::simple(payload, 1448, flow(), false))
+            .unwrap();
+        let out = r
+            .nic
+            .tx_doorbell(Time::ZERO, Time::ZERO, r.q0, &mut r.fab, &mut r.mem);
+        assert_eq!(out.packets.len(), 1);
+        assert_eq!(out.packets[0].2, 1448);
+        assert_eq!(out.completions.len(), 1);
+        assert!(out.irq.is_some());
+        assert_eq!(r.nic.tx_bytes(r.pfs[0]), 1448);
+        assert_eq!(r.nic.tx_backlog(r.q0), 0);
+    }
+
+    #[test]
+    fn tso_segments_on_device() {
+        let mut r = rig(SteeringMode::MacBased);
+        let payload = r.mem.alloc(N0, 65536);
+        r.nic
+            .post_tx(r.q0, TxDesc::simple(payload, 64 * 1024, flow(), true))
+            .unwrap();
+        let out = r
+            .nic
+            .tx_doorbell(Time::ZERO, Time::ZERO, r.q0, &mut r.fab, &mut r.mem);
+        let expect = tso::segment_count(64 * 1024, crate::wire::MSS);
+        assert_eq!(out.packets.len() as u64, expect);
+        assert_eq!(out.packets.iter().map(|p| p.2).sum::<u64>(), 64 * 1024);
+        // One CQE for the aggregate, not per segment.
+        assert_eq!(out.completions.len(), 1);
+    }
+
+    #[test]
+    fn ioctosg_fetches_fragments_through_hinted_pf() {
+        let mut r = rig(SteeringMode::FlowBased);
+        // Payload spans both nodes (sendfile page-cache case, §3.3).
+        let frag0 = r.mem.alloc(N0, 4096);
+        let frag1 = r.mem.alloc(N1, 4096);
+        let desc = TxDesc {
+            fragments: vec![
+                crate::desc::TxFragment {
+                    addr: frag0,
+                    len: 1000,
+                    pf_hint: Some(r.pfs[0]),
+                },
+                crate::desc::TxFragment {
+                    addr: frag1,
+                    len: 448,
+                    pf_hint: Some(r.pfs[1]),
+                },
+            ],
+            flow: flow(),
+            len: 1448,
+            tso: false,
+        };
+        r.nic.post_tx(r.q0, desc).unwrap();
+        let before0 = r.fab.downstream_bytes(r.pfs[0]);
+        let before1 = r.fab.downstream_bytes(r.pfs[1]);
+        r.nic
+            .tx_doorbell(Time::ZERO, Time::ZERO, r.q0, &mut r.fab, &mut r.mem);
+        assert!(r.fab.downstream_bytes(r.pfs[0]) > before0, "frag 0 via PF0");
+        assert!(r.fab.downstream_bytes(r.pfs[1]) > before1, "frag 1 via PF1");
+    }
+
+    #[test]
+    fn tx_ring_full_rejected() {
+        let mut r = rig(SteeringMode::MacBased);
+        let payload = r.mem.alloc(N0, 4096);
+        for _ in 0..1024 {
+            assert!(r
+                .nic
+                .post_tx(r.q0, TxDesc::simple(payload, 100, flow(), false))
+                .is_some());
+        }
+        assert!(r
+            .nic
+            .post_tx(r.q0, TxDesc::simple(payload, 100, flow(), false))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn malformed_tx_desc_panics() {
+        let mut r = rig(SteeringMode::MacBased);
+        let desc = TxDesc {
+            fragments: vec![],
+            flow: flow(),
+            len: 10,
+            tso: false,
+        };
+        r.nic.post_tx(r.q0, desc);
+    }
+}

@@ -1,0 +1,172 @@
+//! Flow identification: 5-tuples and MAC addresses.
+
+use std::fmt;
+
+/// Transport protocol of a flow (the fifth tuple element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// TCP.
+    Tcp,
+    /// UDP.
+    Udp,
+}
+
+/// An IP flow, "uniquely identified by its 5-tuple: source IP, source port,
+/// destination IP, destination port, and protocol ID" (paper, footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FlowTuple {
+    /// Convenience constructor for a TCP flow.
+    pub fn tcp(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
+        FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    /// Convenience constructor for a UDP flow.
+    pub fn udp(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) -> Self {
+        FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+        }
+    }
+
+    /// The reverse direction of this flow (responses).
+    pub fn reversed(self) -> FlowTuple {
+        FlowTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A deterministic hash used for RSS-style queue selection
+    /// (Toeplitz-flavored mixing; exact polynomial irrelevant to the model).
+    pub fn rss_hash(&self) -> u64 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for v in [
+            self.src_ip as u64,
+            self.dst_ip as u64,
+            self.src_port as u64,
+            self.dst_port as u64,
+            match self.proto {
+                Protocol::Tcp => 6,
+                Protocol::Udp => 17,
+            },
+        ] {
+            h ^= v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h = h.rotate_left(31).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        }
+        h
+    }
+}
+
+impl fmt::Display for FlowTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}.{} -> {}.{}",
+            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// A 48-bit Ethernet MAC address. The octoNIC exposes exactly one to the
+/// outside world (§3.3: "An IOctopus NIC (octoNIC) has a single interface
+/// with the external world — a single physical port and MAC address").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub u64);
+
+impl MacAddr {
+    /// A deterministic locally administered address for unit `i`.
+    pub fn local_admin(i: u64) -> MacAddr {
+        MacAddr(0x0200_0000_0000 | (i & 0xFFFF_FFFF))
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[2], b[3], b[4], b[5], b[6], b[7]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let f = FlowTuple::tcp(1, 100, 2, 200);
+        let r = f.reversed();
+        assert_eq!(r.src_ip, 2);
+        assert_eq!(r.dst_ip, 1);
+        assert_eq!(r.src_port, 200);
+        assert_eq!(r.dst_port, 100);
+        assert_eq!(r.reversed(), f);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_direction_sensitive() {
+        let f = FlowTuple::tcp(1, 100, 2, 200);
+        assert_eq!(f.rss_hash(), f.rss_hash());
+        assert_ne!(f.rss_hash(), f.reversed().rss_hash());
+    }
+
+    #[test]
+    fn tcp_udp_differ() {
+        let t = FlowTuple::tcp(1, 1, 2, 2);
+        let u = FlowTuple::udp(1, 1, 2, 2);
+        assert_ne!(t, u);
+        assert_ne!(t.rss_hash(), u.rss_hash());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::local_admin(1).to_string(), "02:00:00:00:00:01");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reverse_involution(a in any::<u32>(), b in any::<u32>(),
+                                   p in any::<u16>(), q in any::<u16>()) {
+            let f = FlowTuple::tcp(a, p, b, q);
+            prop_assert_eq!(f.reversed().reversed(), f);
+        }
+
+        #[test]
+        fn prop_hash_spreads(n in 1u32..10_000) {
+            // Different ports must not all collide mod a small queue count.
+            let h1 = FlowTuple::tcp(1, n as u16, 2, 7).rss_hash() % 14;
+            let h2 = FlowTuple::tcp(1, n.wrapping_add(1) as u16, 2, 7).rss_hash() % 14;
+            // They *may* collide, but the hash itself must differ.
+            prop_assert!(h1 < 14 && h2 < 14);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! NIC substrate for the IOctopus reproduction.
+//!
+//! Models a multi-queue, multi-PF 100 GbE NIC at descriptor granularity —
+//! both with the *standard* firmware (each physical function is a separate
+//! logical NIC with its own MAC, Figure 5a/b) and with the *octoNIC*
+//! firmware (all PFs unified behind one MAC, steered by IOctoRFS,
+//! Figure 5c).
+//!
+//! Modules:
+//!
+//! * [`flow`] — flow 5-tuples and MAC addresses,
+//! * [`desc`] — transmit/receive descriptors and completion entries,
+//! * [`ring`] — descriptor rings (cyclic arrays in host memory the NIC
+//!   reads/writes by DMA, §2.3),
+//! * [`steering`] — per-PF ARFS tables mapping flows to receive queues,
+//! * [`mpfs`] — the multi-PF Ethernet switch; its `FlowBased` mode is the
+//!   paper's IOctoRFS (§4.1: "we modify the MPFS to map packets to a PF
+//!   based on their flow 5-tuple instead of the MAC address"),
+//! * [`tso`] — TCP segmentation offload,
+//! * [`wire`] — the Ethernet wire with framing overhead,
+//! * [`device`] — the NIC device model tying it all together.
+//!
+//! Every DMA the device performs (descriptor fetches, payload moves,
+//! completion writes) goes through the [`pcie`] fabric and the [`memsys`]
+//! memory system, so locality effects — DDIO hits, remote invalidations,
+//! QPI crossings — fall out of the substrate rather than being asserted.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod desc;
+pub mod device;
+pub mod flow;
+pub mod mpfs;
+pub mod ring;
+pub mod steering;
+pub mod tso;
+pub mod wire;
+
+pub use desc::{Completion, RxDesc, TxDesc, TxFragment};
+pub use device::{Nic, NicConfig, QueueConfig, QueueId, RxOutcome, TxOutcome};
+pub use flow::{FlowTuple, MacAddr, Protocol};
+pub use mpfs::{Mpfs, SteeringMode};
+pub use steering::ArfsTable;
+pub use wire::WireConfig;

@@ -1,0 +1,220 @@
+//! Descriptor rings: "a cyclic array (known as a 'ring buffer' or simply a
+//! 'ring') in DRAM, which the OS accesses through load/store operations,
+//! and the device accesses using DMA" (§2.3).
+//!
+//! The ring stores the simulated descriptor *contents* in a `VecDeque` while
+//! tracking the *addresses* of its slots so both sides can charge the memory
+//! system for their accesses: the OS `cpu_write`s a slot before ringing the
+//! doorbell; the device `dma_read`s it before processing.
+
+use std::collections::VecDeque;
+
+use memsys::PhysAddr;
+
+/// A cyclic descriptor ring in host memory.
+#[derive(Debug, Clone)]
+pub struct DescRing<T> {
+    base: PhysAddr,
+    entry_bytes: u64,
+    capacity: usize,
+    head: usize,
+    entries: VecDeque<(usize, T)>,
+    posted_total: u64,
+    consumed_total: u64,
+}
+
+impl<T> DescRing<T> {
+    /// Creates a ring of `capacity` slots of `entry_bytes` each, backed by
+    /// host memory at `base`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `entry_bytes` is zero.
+    pub fn new(base: PhysAddr, entry_bytes: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "ring needs capacity");
+        assert!(entry_bytes > 0, "ring entries need a size");
+        DescRing {
+            base,
+            entry_bytes,
+            capacity,
+            head: 0,
+            entries: VecDeque::new(),
+            posted_total: 0,
+            consumed_total: 0,
+        }
+    }
+
+    /// Total bytes of host memory the ring occupies.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.entry_bytes * self.capacity as u64
+    }
+
+    /// The host address of slot `idx`.
+    pub fn slot_addr(&self, idx: usize) -> PhysAddr {
+        self.base
+            .offset((idx % self.capacity) as u64 * self.entry_bytes)
+    }
+
+    /// The slot address the *next* post will occupy (for charging the DMA
+    /// before committing the entry), or `None` if the ring is full.
+    pub fn next_slot_addr(&self) -> Option<PhysAddr> {
+        if self.entries.len() >= self.capacity {
+            return None;
+        }
+        Some(self.slot_addr((self.head + self.entries.len()) % self.capacity))
+    }
+
+    /// Posts an entry at the producer position; returns the slot address the
+    /// producer wrote (so it can charge the memory system), or `None` if the
+    /// ring is full.
+    pub fn post(&mut self, entry: T) -> Option<PhysAddr> {
+        if self.entries.len() >= self.capacity {
+            return None;
+        }
+        let slot = (self.head + self.entries.len()) % self.capacity;
+        self.entries.push_back((slot, entry));
+        self.posted_total += 1;
+        Some(self.slot_addr(slot))
+    }
+
+    /// Consumes the oldest entry; returns it with its slot address, or
+    /// `None` if empty.
+    pub fn consume(&mut self) -> Option<(PhysAddr, T)> {
+        let (slot, entry) = self.entries.pop_front()?;
+        self.head = (slot + 1) % self.capacity;
+        self.consumed_total += 1;
+        Some((self.slot_addr(slot), entry))
+    }
+
+    /// Peeks at the oldest entry without consuming it.
+    pub fn peek(&self) -> Option<&T> {
+        self.entries.front().map(|(_, e)| e)
+    }
+
+    /// Outstanding (posted but unconsumed) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the ring has no free slots.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries ever posted.
+    pub fn posted_total(&self) -> u64 {
+        self.posted_total
+    }
+
+    /// Entries ever consumed.
+    pub fn consumed_total(&self) -> u64 {
+        self.consumed_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring(cap: usize) -> DescRing<u32> {
+        DescRing::new(PhysAddr(0x1000), 64, cap)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut r = ring(4);
+        r.post(1).unwrap();
+        r.post(2).unwrap();
+        assert_eq!(r.consume().unwrap().1, 1);
+        assert_eq!(r.consume().unwrap().1, 2);
+        assert!(r.consume().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let mut r = ring(2);
+        assert!(r.post(1).is_some());
+        assert!(r.post(2).is_some());
+        assert!(r.post(3).is_none());
+        assert!(r.is_full());
+        r.consume();
+        assert!(r.post(3).is_some());
+    }
+
+    #[test]
+    fn slot_addresses_wrap() {
+        let mut r = ring(2);
+        let a0 = r.post(1).unwrap();
+        let a1 = r.post(2).unwrap();
+        assert_eq!(a0, PhysAddr(0x1000));
+        assert_eq!(a1, PhysAddr(0x1040));
+        r.consume();
+        let a2 = r.post(3).unwrap();
+        assert_eq!(a2, a0, "wraps back to slot 0");
+    }
+
+    #[test]
+    fn consume_returns_matching_slot() {
+        let mut r = ring(3);
+        let posted = r.post(7).unwrap();
+        let (addr, v) = r.consume().unwrap();
+        assert_eq!(addr, posted);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn footprint_and_counters() {
+        let mut r = ring(8);
+        assert_eq!(r.footprint_bytes(), 512);
+        r.post(1);
+        r.post(2);
+        r.consume();
+        assert_eq!(r.posted_total(), 2);
+        assert_eq!(r.consumed_total(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn peek_is_nondestructive() {
+        let mut r = ring(2);
+        r.post(9);
+        assert_eq!(r.peek(), Some(&9));
+        assert_eq!(r.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_never_exceeds_capacity(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+            let mut r = ring(8);
+            let mut model: VecDeque<u32> = VecDeque::new();
+            let mut next = 0u32;
+            for push in ops {
+                if push {
+                    let ok = r.post(next).is_some();
+                    if model.len() < 8 {
+                        prop_assert!(ok);
+                        model.push_back(next);
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                    next += 1;
+                } else {
+                    let got = r.consume().map(|(_, v)| v);
+                    prop_assert_eq!(got, model.pop_front());
+                }
+                prop_assert!(r.len() <= 8);
+                prop_assert_eq!(r.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! TCP Segmentation Offload: "the NIC's TSO functionality allows the kernel
+//! to aggregate sent data into 64 KB TCP segments before handing it to the
+//! NIC" (§5.1.1), which then cuts them into MTU-sized wire packets.
+
+/// The largest aggregate the kernel hands the device with TSO.
+pub const TSO_MAX_BYTES: u64 = 64 * 1024;
+
+/// Splits a `len`-byte payload into wire-packet payload sizes of at most
+/// `mss` bytes each.
+///
+/// # Panics
+/// Panics if `mss` is zero.
+///
+/// # Example
+/// ```
+/// use nic::tso::segment;
+/// assert_eq!(segment(3000, 1448), vec![1448, 1448, 104]);
+/// assert_eq!(segment(100, 1448), vec![100]);
+/// assert_eq!(segment(0, 1448), Vec::<u64>::new());
+/// ```
+pub fn segment(len: u64, mss: u64) -> Vec<u64> {
+    assert!(mss > 0, "MSS must be positive");
+    let mut out = Vec::with_capacity(len.div_ceil(mss.max(1)) as usize);
+    let mut left = len;
+    while left > 0 {
+        let take = left.min(mss);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+/// Number of wire packets a payload becomes.
+pub fn segment_count(len: u64, mss: u64) -> u64 {
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(mss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_multiple() {
+        assert_eq!(segment(2896, 1448), vec![1448, 1448]);
+    }
+
+    #[test]
+    fn max_tso_aggregate() {
+        let segs = segment(TSO_MAX_BYTES, 1448);
+        assert_eq!(segs.len() as u64, segment_count(TSO_MAX_BYTES, 1448));
+        assert_eq!(segs.iter().sum::<u64>(), TSO_MAX_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "MSS must be positive")]
+    fn zero_mss_panics() {
+        segment(10, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segments_sum_to_len(len in 0u64..200_000, mss in 1u64..9000) {
+            let segs = segment(len, mss);
+            prop_assert_eq!(segs.iter().sum::<u64>(), len);
+            prop_assert!(segs.iter().all(|&s| s > 0 && s <= mss));
+            prop_assert_eq!(segs.len() as u64, segment_count(len, mss));
+        }
+
+        #[test]
+        fn prop_only_last_segment_short(len in 1u64..200_000, mss in 1u64..9000) {
+            let segs = segment(len, mss);
+            for &s in &segs[..segs.len() - 1] {
+                prop_assert_eq!(s, mss);
+            }
+        }
+    }
+}

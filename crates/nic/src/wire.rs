@@ -1,0 +1,111 @@
+//! The Ethernet wire between the server NIC and its back-to-back peer
+//! (§5: "The client is connected back-to-back to one of the server NIC's
+//! ports").
+
+use simcore::{BwLink, Dur, Time};
+
+/// Ethernet framing overhead per wire packet: preamble (8) + FCS (4) +
+/// inter-frame gap (12).
+pub const FRAME_OVERHEAD_BYTES: u64 = 24;
+/// Ethernet + IP + TCP headers carried on the wire per packet.
+pub const HEADER_BYTES: u64 = 14 + 20 + 20;
+/// Standard MTU used throughout the paper's evaluation.
+pub const MTU: u64 = 1500;
+/// MSS implied by the MTU (IP + TCP headers subtracted).
+pub const MSS: u64 = MTU - 40;
+
+/// Wire parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// Line rate in bytes/second.
+    pub bytes_per_sec: u64,
+    /// One-way propagation + PHY/MAC pipeline latency.
+    pub latency: Dur,
+}
+
+impl WireConfig {
+    /// 100 GbE back-to-back.
+    pub fn back_to_back_100g() -> Self {
+        WireConfig {
+            bytes_per_sec: BwLink::gbps(100.0),
+            latency: Dur::from_ns(600),
+        }
+    }
+}
+
+/// One full-duplex wire: independent per-direction bandwidth servers.
+#[derive(Debug)]
+pub struct Wire {
+    /// Server → client direction.
+    pub tx: BwLink,
+    /// Client → server direction.
+    pub rx: BwLink,
+}
+
+impl Wire {
+    /// Builds the wire.
+    pub fn new(cfg: WireConfig) -> Self {
+        Wire {
+            tx: BwLink::new("wire-tx", cfg.bytes_per_sec, cfg.latency),
+            rx: BwLink::new("wire-rx", cfg.bytes_per_sec, cfg.latency),
+        }
+    }
+
+    /// Bytes a `payload`-byte packet occupies on the wire.
+    pub fn wire_bytes(payload: u64) -> u64 {
+        payload + HEADER_BYTES + FRAME_OVERHEAD_BYTES
+    }
+
+    /// Sends `payload` bytes server→client; returns arrival time at the peer.
+    pub fn send_tx(&mut self, now: Time, payload: u64) -> Time {
+        self.tx.reserve(now, Self::wire_bytes(payload))
+    }
+
+    /// Sends `payload` bytes client→server; returns arrival time at the
+    /// server NIC.
+    pub fn send_rx(&mut self, now: Time, payload: u64) -> Time {
+        self.rx.reserve(now, Self::wire_bytes(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_include_framing() {
+        assert_eq!(Wire::wire_bytes(1448), 1448 + 54 + 24);
+    }
+
+    #[test]
+    fn line_rate_bounds_throughput() {
+        let mut w = Wire::new(WireConfig::back_to_back_100g());
+        // 10,000 MTU packets back-to-back: at 100 Gb/s the last one lands
+        // no earlier than total_bytes / rate.
+        let mut last = Time::ZERO;
+        for _ in 0..10_000 {
+            last = w.send_rx(Time::ZERO, 1448);
+        }
+        let total_wire: u64 = 10_000 * Wire::wire_bytes(1448);
+        let floor = total_wire as f64 / 12.5e9;
+        assert!(last.as_secs() >= floor, "{} < {floor}", last.as_secs());
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut w = Wire::new(WireConfig::back_to_back_100g());
+        for _ in 0..1000 {
+            w.send_tx(Time::ZERO, 1448);
+        }
+        // Rx direction unaffected by Tx backlog.
+        let arr = w.send_rx(Time::ZERO, 64);
+        assert!(arr < Time::from_us(1));
+    }
+
+    #[test]
+    fn latency_applied() {
+        let mut w = Wire::new(WireConfig::back_to_back_100g());
+        let arr = w.send_tx(Time::ZERO, 64);
+        assert!(arr >= Time::from_ns(600));
+    }
+}

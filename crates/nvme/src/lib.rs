@@ -1,0 +1,23 @@
+//! NVMe substrate for the IOctopus reproduction (§5.4, "IOctopus on NVMe").
+//!
+//! Models a PCIe SSD at command granularity: submission/completion queues in
+//! host memory, command fetch by DMA, a flash-media bandwidth model, and the
+//! data/completion DMA back to the host. Supports:
+//!
+//! * single-port drives (one PF),
+//! * **dual-port** drives (two PFs — "such dual-port NVMe SSDs are already
+//!   available on the market", §5.4) wired to different sockets via a
+//!   customized backplane, and
+//! * the **OctoSSD** mode the paper leaves as future work: the controller
+//!   routes each command's data DMA through the PF local to the target
+//!   buffer's node, eliminating NUDMA on storage reads the same way the
+//!   octoNIC does for packets.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod media;
+pub mod ssd;
+
+pub use media::MediaConfig;
+pub use ssd::{PortPolicy, Ssd, SsdConfig};

@@ -1,0 +1,79 @@
+//! Flash media model: the drive's internal read path.
+
+use simcore::{BwLink, Dur, Time};
+
+/// Media parameters of one drive.
+#[derive(Debug, Clone, Copy)]
+pub struct MediaConfig {
+    /// Sustained sequential read bandwidth, bytes/second.
+    pub read_bytes_per_sec: u64,
+    /// Per-command access latency (FTL lookup + NAND sense).
+    pub read_latency: Dur,
+}
+
+impl MediaConfig {
+    /// Samsung PM1725a-class drive (§5.4's testbed): ~3.2 GB/s sustained
+    /// reads, ~90 µs NAND read latency.
+    pub fn pm1725a() -> Self {
+        MediaConfig {
+            read_bytes_per_sec: 3_200_000_000,
+            read_latency: Dur::from_us(90),
+        }
+    }
+}
+
+/// One drive's flash backend: a bandwidth server over the NAND channels.
+#[derive(Debug)]
+pub struct Media {
+    link: BwLink,
+    latency: Dur,
+    read_bytes: u64,
+}
+
+impl Media {
+    /// Builds the media model.
+    pub fn new(id: usize, cfg: MediaConfig) -> Self {
+        Media {
+            link: BwLink::new(format!("nand{id}"), cfg.read_bytes_per_sec, Dur::ZERO),
+            latency: cfg.read_latency,
+            read_bytes: 0,
+        }
+    }
+
+    /// Reads `bytes` from flash starting at `now`; returns when the data is
+    /// in the controller's buffer.
+    pub fn read(&mut self, now: Time, bytes: u64) -> Time {
+        self.read_bytes += bytes;
+        self.link.reserve(now, bytes) + self.latency
+    }
+
+    /// Total bytes read since construction.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_floor() {
+        let mut m = Media::new(0, MediaConfig::pm1725a());
+        let done = m.read(Time::ZERO, 4096);
+        assert!(done >= Time::from_us(90));
+        assert!(done < Time::from_us(95));
+    }
+
+    #[test]
+    fn bandwidth_bound() {
+        let mut m = Media::new(0, MediaConfig::pm1725a());
+        // 32 MB at 3.2 GB/s = 10 ms.
+        let mut last = Time::ZERO;
+        for _ in 0..256 {
+            last = m.read(Time::ZERO, 128 * 1024);
+        }
+        assert!(last >= Time::from_ms(10));
+        assert_eq!(m.read_bytes(), 256 * 128 * 1024);
+    }
+}

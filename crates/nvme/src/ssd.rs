@@ -1,0 +1,263 @@
+//! The SSD controller: queues, ports, and the read command pipeline.
+
+use memsys::{MemSystem, NodeId, PhysAddr};
+use pcie::{PcieFabric, PfId};
+use simcore::Time;
+
+use crate::media::{Media, MediaConfig};
+
+/// NVMe command and completion entry sizes.
+pub const SQE_BYTES: u64 = 64;
+/// NVMe completion entry size.
+pub const CQE_BYTES: u64 = 16;
+
+/// How the controller picks the PF for a command's data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPolicy {
+    /// Always use port `i` — a conventional (or dual-port-but-static) drive.
+    /// §5.4's experiment accesses the drive through the port remote to the
+    /// fio threads.
+    Fixed(usize),
+    /// OctoSSD: use the port whose socket is local to the data buffer, so
+    /// the data DMA never crosses the interconnect.
+    LocalToBuffer,
+}
+
+/// Drive-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SsdConfig {
+    /// Media parameters.
+    pub media: MediaConfig,
+    /// Data-DMA port selection.
+    pub policy: PortPolicy,
+}
+
+/// Result of one read command.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadResult {
+    /// When the data and the completion entry are visible in host memory.
+    pub done_at: Time,
+    /// The PF the data moved through.
+    pub data_pf: PfId,
+}
+
+/// Transfer-buffer slots: how many block-sized data transfers the
+/// controller can hold while their host DMA drains. When the interconnect
+/// backs up, this is what throttles the flash pipeline (§5.4's fio
+/// degradation under UPI saturation).
+pub const XFER_BUFFER_SLOTS: usize = 4;
+
+/// One NVMe SSD with one or two ports.
+#[derive(Debug)]
+pub struct Ssd {
+    ports: Vec<PfId>,
+    media: Media,
+    policy: PortPolicy,
+    sq_addr: PhysAddr,
+    cq_addr: PhysAddr,
+    reads: u64,
+    xfer_done: std::collections::VecDeque<Time>,
+}
+
+impl Ssd {
+    /// Builds a drive whose ports are the given PCIe endpoints. Queue memory
+    /// is allocated on `queue_node` (where the submitting threads run).
+    pub fn new(
+        id: usize,
+        cfg: SsdConfig,
+        ports: Vec<PfId>,
+        mem: &mut MemSystem,
+        queue_node: NodeId,
+    ) -> Self {
+        assert!(!ports.is_empty(), "drive needs at least one port");
+        if let PortPolicy::Fixed(i) = cfg.policy {
+            assert!(i < ports.len(), "fixed port out of range");
+        }
+        Ssd {
+            ports,
+            media: Media::new(id, cfg.media),
+            policy: cfg.policy,
+            sq_addr: mem.alloc(queue_node, SQE_BYTES * 1024),
+            cq_addr: mem.alloc(queue_node, CQE_BYTES * 1024),
+            reads: 0,
+            xfer_done: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The drive's ports.
+    pub fn ports(&self) -> &[PfId] {
+        &self.ports
+    }
+
+    /// Executes one asynchronous direct read of `len` bytes into `buf`
+    /// (submitted at `now`; the caller charges its own submission CPU cost).
+    ///
+    /// Pipeline: command fetch (64 B DMA read via the command port) → flash
+    /// read → data DMA write into `buf` → completion entry write.
+    pub fn read(
+        &mut self,
+        now: Time,
+        buf: PhysAddr,
+        len: u64,
+        fabric: &mut PcieFabric,
+        mem: &mut MemSystem,
+    ) -> ReadResult {
+        self.reads += 1;
+        let cmd_port = self.ports[0];
+        let data_port = match self.policy {
+            PortPolicy::Fixed(i) => self.ports[i],
+            PortPolicy::LocalToBuffer => {
+                let home = buf.home();
+                *self
+                    .ports
+                    .iter()
+                    .find(|pf| fabric.node_of(**pf) == home)
+                    .unwrap_or(&self.ports[0])
+            }
+        };
+        // Fetch the submission-queue entry. All PCIe/memory hops are
+        // reserved at `now` with durations summed (see pcie::fabric); the
+        // per-drive flash FIFO is reserved at the command's arrival, which
+        // is monotone per drive.
+        let slot = self.sq_addr.offset((self.reads % 1024) * SQE_BYTES);
+        let cmd_dur = fabric.dma_read(now, cmd_port, mem, slot, SQE_BYTES);
+        // Flash cannot start until a transfer-buffer slot frees (the
+        // controller's internal buffer backpressures the NAND pipeline when
+        // host DMA is slow — e.g. a congested interconnect). The slot that
+        // must free is the oldest *data transfer* (flash-to-host), whose
+        // duration rides the congested path.
+        let gate = if self.xfer_done.len() >= XFER_BUFFER_SLOTS {
+            *self.xfer_done.front().expect("non-empty")
+        } else {
+            Time::ZERO
+        };
+        let flash_done = self.media.read((now + cmd_dur).max(gate), len);
+        // Data to host, then the CQE (bandwidth reserved at the submission
+        // event time, like every shared-resource reservation in the model).
+        let data_dur = fabric.dma_write(now, data_port, mem, buf, len);
+        let cq_slot = self.cq_addr.offset((self.reads % 1024) * CQE_BYTES);
+        let cqe_dur = fabric.dma_write(now, data_port, mem, cq_slot, CQE_BYTES);
+        let t = flash_done + data_dur + cqe_dur;
+        self.xfer_done.push_back(flash_done + data_dur);
+        if self.xfer_done.len() >= XFER_BUFFER_SLOTS {
+            self.xfer_done.pop_front();
+        }
+        ReadResult {
+            done_at: t,
+            data_pf: data_port,
+        }
+    }
+
+    /// Commands processed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Bytes read from flash.
+    pub fn flash_bytes(&self) -> u64 {
+        self.media.read_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::MemConfig;
+    use pcie::{FabricConfig, PcieGen};
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn setup(policy: PortPolicy) -> (MemSystem, PcieFabric, Ssd) {
+        let mut mem = MemSystem::new(MemConfig::dual_socket_skylake());
+        let mut fab = PcieFabric::new(FabricConfig::default());
+        let p0 = fab.add_endpoint(N0, PcieGen::Gen3, 4);
+        let p1 = fab.add_endpoint(N1, PcieGen::Gen3, 4);
+        let ssd = Ssd::new(
+            0,
+            SsdConfig {
+                media: MediaConfig::pm1725a(),
+                policy,
+            },
+            vec![p0, p1],
+            &mut mem,
+            N1,
+        );
+        (mem, fab, ssd)
+    }
+
+    #[test]
+    fn read_completes_after_flash_latency() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::Fixed(0));
+        let buf = mem.alloc(N1, 128 * 1024);
+        let r = ssd.read(Time::ZERO, buf, 128 * 1024, &mut fab, &mut mem);
+        assert!(r.done_at > Time::from_us(90));
+        assert_eq!(ssd.reads(), 1);
+        assert_eq!(ssd.flash_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn fixed_port_crosses_interconnect_for_remote_buffer() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::Fixed(0));
+        let buf = mem.alloc(N1, 128 * 1024); // remote to port 0 (node 0)
+        mem.reset_counters();
+        ssd.read(Time::ZERO, buf, 128 * 1024, &mut fab, &mut mem);
+        assert!(
+            mem.counters().interconnect_bytes >= 128 * 1024,
+            "data crossed UPI"
+        );
+    }
+
+    #[test]
+    fn octossd_keeps_data_local() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::LocalToBuffer);
+        let buf = mem.alloc(N1, 128 * 1024);
+        mem.reset_counters();
+        let r = ssd.read(Time::ZERO, buf, 128 * 1024, &mut fab, &mut mem);
+        assert_eq!(fab.node_of(r.data_pf), N1, "local port chosen");
+        // Only the tiny command fetch crossed; the 128 KiB payload did not.
+        assert!(
+            mem.counters().interconnect_bytes < 4096,
+            "payload stayed local, got {}",
+            mem.counters().interconnect_bytes
+        );
+    }
+
+    #[test]
+    fn octossd_is_faster_for_remote_buffers_under_congestion() {
+        let (mut mem, mut fab, mut ssd_fixed) = setup(PortPolicy::Fixed(0));
+        // Saturate node0->node1 with ~1 ms of antagonist traffic.
+        mem.cpu_stream_through(Time::ZERO, N0, N1, 41_600_000, true);
+        let buf = mem.alloc(N1, 128 * 1024);
+        let slow = ssd_fixed.read(Time::ZERO, buf, 128 * 1024, &mut fab, &mut mem);
+
+        let (mut mem2, mut fab2, mut ssd_octo) = setup(PortPolicy::LocalToBuffer);
+        mem2.cpu_stream_through(Time::ZERO, N0, N1, 41_600_000, true);
+        let buf2 = mem2.alloc(N1, 128 * 1024);
+        let fast = ssd_octo.read(Time::ZERO, buf2, 128 * 1024, &mut fab2, &mut mem2);
+        assert!(
+            fast.done_at < slow.done_at,
+            "octo {} vs fixed {}",
+            fast.done_at,
+            slow.done_at
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed port out of range")]
+    fn bad_fixed_port() {
+        let mut mem = MemSystem::new(MemConfig::dual_socket_skylake());
+        let mut fab = PcieFabric::new(FabricConfig::default());
+        let p0 = fab.add_endpoint(N0, PcieGen::Gen3, 4);
+        Ssd::new(
+            0,
+            SsdConfig {
+                media: MediaConfig::pm1725a(),
+                policy: PortPolicy::Fixed(3),
+            },
+            vec![p0],
+            &mut mem,
+            N0,
+        );
+    }
+}

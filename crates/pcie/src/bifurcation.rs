@@ -1,0 +1,94 @@
+//! Lane bifurcation: splitting one physical device's lanes into several
+//! endpoints wired to different sockets (§3.2).
+
+use memsys::NodeId;
+
+use crate::link::{PcieGen, PcieLinkConfig};
+
+/// How a device's lanes are split across endpoints/sockets.
+///
+/// Each segment becomes one physical function attached to one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bifurcation {
+    segments: Vec<(PcieLinkConfig, NodeId)>,
+}
+
+impl Bifurcation {
+    /// A conventional single endpoint: all lanes to one socket
+    /// (Figure 5a — "one NIC").
+    pub fn single(gen: PcieGen, lanes: u8, node: NodeId) -> Self {
+        Bifurcation {
+            segments: vec![(PcieLinkConfig::new(gen, lanes), node)],
+        }
+    }
+
+    /// The paper's octoNIC prototype: a x16 device bifurcated into two x8
+    /// endpoints, one per socket of a dual-socket machine (§4.1: "The NIC's
+    /// 16 PCIe lanes are bifurcated into two 8-lane buses, and we connect
+    /// them to each CPU of a dual node system").
+    pub fn x8x8_dual_socket(gen: PcieGen) -> Self {
+        Bifurcation {
+            segments: vec![
+                (PcieLinkConfig::new(gen, 8), NodeId(0)),
+                (PcieLinkConfig::new(gen, 8), NodeId(1)),
+            ],
+        }
+    }
+
+    /// One endpoint per node, each with `lanes` lanes — the §3.2 "extender"
+    /// variant generalized to `nodes` sockets.
+    pub fn per_node(gen: PcieGen, lanes: u8, nodes: usize) -> Self {
+        assert!(nodes > 0, "at least one node");
+        Bifurcation {
+            segments: (0..nodes)
+                .map(|n| (PcieLinkConfig::new(gen, lanes), NodeId(n)))
+                .collect(),
+        }
+    }
+
+    /// The segments: one `(link, node)` pair per endpoint.
+    pub fn segments(&self) -> &[(PcieLinkConfig, NodeId)] {
+        &self.segments
+    }
+
+    /// Number of endpoints this bifurcation produces.
+    pub fn endpoint_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total lane count across segments.
+    pub fn total_lanes(&self) -> u32 {
+        self.segments.iter().map(|(l, _)| l.lanes as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_one_endpoint() {
+        let b = Bifurcation::single(PcieGen::Gen3, 16, NodeId(0));
+        assert_eq!(b.endpoint_count(), 1);
+        assert_eq!(b.total_lanes(), 16);
+        assert_eq!(b.segments()[0].1, NodeId(0));
+    }
+
+    #[test]
+    fn octonic_prototype_split() {
+        let b = Bifurcation::x8x8_dual_socket(PcieGen::Gen3);
+        assert_eq!(b.endpoint_count(), 2);
+        assert_eq!(b.total_lanes(), 16);
+        assert_eq!(b.segments()[0].1, NodeId(0));
+        assert_eq!(b.segments()[1].1, NodeId(1));
+        assert_eq!(b.segments()[0].0.lanes, 8);
+    }
+
+    #[test]
+    fn per_node_covers_all_sockets() {
+        let b = Bifurcation::per_node(PcieGen::Gen4, 4, 4);
+        assert_eq!(b.endpoint_count(), 4);
+        let nodes: Vec<_> = b.segments().iter().map(|(_, n)| n.0).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+}

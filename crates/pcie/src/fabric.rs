@@ -1,0 +1,311 @@
+//! The machine's PCIe endpoints and the DMA/MMIO transactions they carry.
+
+use memsys::{MemSystem, NodeId, PhysAddr};
+use simcore::{BwLink, Dur, Time};
+
+use crate::bifurcation::Bifurcation;
+use crate::link::{wire_bytes, PcieGen, PcieLinkConfig, DEFAULT_MPS};
+
+/// Identifies one PCIe physical function (endpoint) in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PfId(pub usize);
+
+impl std::fmt::Display for PfId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PF{}", self.0)
+    }
+}
+
+/// Fabric-wide parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Negotiated max TLP payload size.
+    pub max_payload: u64,
+    /// Link propagation + PHY latency, one way.
+    pub link_latency: Dur,
+    /// Extra per-transaction latency when a programmable PCIe switch sits
+    /// between the endpoint and the root port (§3.2; zero = direct wiring).
+    pub switch_latency: Dur,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            max_payload: DEFAULT_MPS,
+            link_latency: Dur::from_ns(150),
+            switch_latency: Dur::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Endpoint {
+    node: NodeId,
+    /// Device → host direction (DMA writes, read requests, MSI-X).
+    upstream: BwLink,
+    /// Host → device direction (DMA read completions, MMIO).
+    downstream: BwLink,
+}
+
+/// All PCIe endpoints in the machine.
+///
+/// Devices (NIC, NVMe) hold [`PfId`]s and issue their DMA through this
+/// fabric, which charges PCIe serialization + TLP overhead on the endpoint's
+/// link and the memory-system cost of the access itself.
+#[derive(Debug)]
+pub struct PcieFabric {
+    cfg: FabricConfig,
+    endpoints: Vec<Endpoint>,
+}
+
+impl PcieFabric {
+    /// Creates an empty fabric.
+    pub fn new(cfg: FabricConfig) -> Self {
+        PcieFabric {
+            cfg,
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Registers an endpoint attached to `node` with the given link.
+    pub fn add_endpoint(&mut self, node: NodeId, gen: PcieGen, lanes: u8) -> PfId {
+        let link = PcieLinkConfig::new(gen, lanes);
+        let id = PfId(self.endpoints.len());
+        let bps = link.bytes_per_sec();
+        self.endpoints.push(Endpoint {
+            node,
+            upstream: BwLink::new(format!("pcie{}-up", id.0), bps, self.cfg.link_latency),
+            downstream: BwLink::new(format!("pcie{}-down", id.0), bps, self.cfg.link_latency),
+        });
+        id
+    }
+
+    /// Registers every endpoint of a bifurcated device; returns their ids in
+    /// segment order.
+    pub fn add_bifurcated(&mut self, bif: &Bifurcation) -> Vec<PfId> {
+        bif.segments()
+            .iter()
+            .map(|(link, node)| self.add_endpoint(*node, link.gen, link.lanes))
+            .collect()
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The NUMA node an endpoint's I/O controller belongs to.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn node_of(&self, pf: PfId) -> NodeId {
+        self.ep(pf).node
+    }
+
+    /// Device-initiated DMA write: `len` bytes from the device into memory
+    /// at `addr`, via endpoint `pf`. Returns the time until the write is
+    /// globally visible.
+    pub fn dma_write(
+        &mut self,
+        now: Time,
+        pf: PfId,
+        mem: &mut MemSystem,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Dur {
+        let wire = wire_bytes(len, self.cfg.max_payload);
+        let node = self.ep(pf).node;
+        // Hops reserved at `now`, durations summed: reserving downstream at
+        // a future arrival time would push shared-link FIFO horizons ahead
+        // of near-term traffic (see memsys::system for the same rule).
+        let up_dur =
+            self.ep_mut(pf).upstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
+        let mem_stall = mem.dma_write(now, node, addr, len);
+        up_dur + mem_stall
+    }
+
+    /// Device-initiated DMA read: `len` bytes from memory at `addr` into the
+    /// device, via endpoint `pf`. Returns the time until the data has fully
+    /// arrived at the device.
+    pub fn dma_read(
+        &mut self,
+        now: Time,
+        pf: PfId,
+        mem: &mut MemSystem,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Dur {
+        let node = self.ep(pf).node;
+        // Read request TLP upstream (header only); hops reserved at `now`,
+        // durations summed (see dma_write).
+        let req_wire = wire_bytes(1, self.cfg.max_payload);
+        let req_dur =
+            self.ep_mut(pf).upstream.reserve(now, req_wire).since(now) + self.cfg.switch_latency;
+        let mem_stall = mem.dma_read(now, node, addr, len);
+        // Completion TLPs downstream with the data.
+        let wire = wire_bytes(len, self.cfg.max_payload);
+        let data_dur =
+            self.ep_mut(pf).downstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
+        req_dur + mem_stall + data_dur
+    }
+
+    /// CPU-initiated MMIO write (doorbell) from a core on `core_node` to the
+    /// device behind `pf`. Posted: the returned duration is the time until
+    /// the device observes it (the CPU does not stall that long).
+    pub fn mmio_write(&mut self, now: Time, core_node: NodeId, pf: PfId, mem: &MemSystem) -> Dur {
+        let hop = mem.mmio_extra_hops(core_node, self.ep(pf).node);
+        let wire = wire_bytes(8, self.cfg.max_payload);
+        let done = self.ep_mut(pf).downstream.reserve(now, wire);
+        done.since(now) + hop + self.cfg.switch_latency
+    }
+
+    /// Device-initiated MSI-X interrupt from `pf` to a core on `target`.
+    /// Returns the delivery latency.
+    pub fn interrupt(&mut self, now: Time, pf: PfId, mem: &MemSystem, target: NodeId) -> Dur {
+        let hop = mem.interrupt_extra_hops(self.ep(pf).node, target);
+        let wire = wire_bytes(4, self.cfg.max_payload);
+        let done = self.ep_mut(pf).upstream.reserve(now, wire);
+        done.since(now) + hop + self.cfg.switch_latency
+    }
+
+    /// Upstream (device→host) bytes carried by `pf` since construction.
+    pub fn upstream_bytes(&self, pf: PfId) -> u64 {
+        self.ep(pf).upstream.total_bytes()
+    }
+
+    /// Downstream (host→device) bytes carried by `pf` since construction.
+    pub fn downstream_bytes(&self, pf: PfId) -> u64 {
+        self.ep(pf).downstream.total_bytes()
+    }
+
+    fn ep(&self, pf: PfId) -> &Endpoint {
+        self.endpoints
+            .get(pf.0)
+            .unwrap_or_else(|| panic!("unknown endpoint {pf}"))
+    }
+
+    fn ep_mut(&mut self, pf: PfId) -> &mut Endpoint {
+        self.endpoints
+            .get_mut(pf.0)
+            .unwrap_or_else(|| panic!("unknown endpoint {pf}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::MemConfig;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn setup() -> (MemSystem, PcieFabric, Vec<PfId>) {
+        let mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut fab = PcieFabric::new(FabricConfig::default());
+        let pfs = fab.add_bifurcated(&Bifurcation::x8x8_dual_socket(PcieGen::Gen3));
+        (mem, fab, pfs)
+    }
+
+    #[test]
+    fn bifurcated_endpoints_attach_to_both_sockets() {
+        let (_, fab, pfs) = setup();
+        assert_eq!(pfs.len(), 2);
+        assert_eq!(fab.node_of(pfs[0]), N0);
+        assert_eq!(fab.node_of(pfs[1]), N1);
+    }
+
+    #[test]
+    fn local_dma_write_cheaper_than_remote() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf0 = mem.alloc(N0, 8192);
+        let local = fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf0, 1500);
+        let buf0b = mem.alloc(N0, 8192);
+        let remote = fab.dma_write(Time::from_us(10), pfs[1], &mut mem, buf0b, 1500);
+        assert!(remote > local, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn local_dma_read_cheaper_than_remote() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        let local = fab.dma_read(Time::ZERO, pfs[0], &mut mem, buf, 1500);
+        let buf2 = mem.alloc(N0, 8192);
+        let remote = fab.dma_read(Time::from_us(10), pfs[1], &mut mem, buf2, 1500);
+        assert!(remote > local, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn dma_write_consumes_upstream_bandwidth() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 1500);
+        assert!(fab.upstream_bytes(pfs[0]) > 1500, "payload + TLP overhead");
+        assert_eq!(fab.downstream_bytes(pfs[0]), 0);
+    }
+
+    #[test]
+    fn dma_read_consumes_downstream_bandwidth() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        fab.dma_read(Time::ZERO, pfs[0], &mut mem, buf, 1500);
+        assert!(fab.downstream_bytes(pfs[0]) > 1500);
+    }
+
+    #[test]
+    fn x8_link_saturates() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 1 << 22);
+        // Push ~2 MiB through the x8 endpoint at one instant: later writes
+        // queue behind earlier ones.
+        let first = fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 4096);
+        let mut last = Dur::ZERO;
+        for i in 0..512 {
+            last = fab.dma_write(
+                Time::ZERO,
+                pfs[0],
+                &mut mem,
+                buf.offset(i * 4096 % (1 << 22)),
+                4096,
+            );
+        }
+        assert!(last > first * 10, "queueing on the PCIe link");
+    }
+
+    #[test]
+    fn mmio_remote_pays_hop() {
+        let (mem, mut fab, pfs) = setup();
+        let local = fab.mmio_write(Time::ZERO, N0, pfs[0], &mem);
+        let remote = fab.mmio_write(Time::ZERO, N0, pfs[1], &mem);
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn interrupt_remote_pays_hop() {
+        let (mem, mut fab, pfs) = setup();
+        let local = fab.interrupt(Time::ZERO, pfs[0], &mem, N0);
+        let remote = fab.interrupt(Time::ZERO, pfs[0], &mem, N1);
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn switch_latency_ablation() {
+        let mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut direct = PcieFabric::new(FabricConfig::default());
+        let mut switched = PcieFabric::new(FabricConfig {
+            switch_latency: Dur::from_ns(120),
+            ..FabricConfig::default()
+        });
+        let d = direct.add_endpoint(N0, PcieGen::Gen3, 8);
+        let s = switched.add_endpoint(N0, PcieGen::Gen3, 8);
+        let ld = direct.mmio_write(Time::ZERO, N0, d, &mem);
+        let ls = switched.mmio_write(Time::ZERO, N0, s, &mem);
+        assert_eq!(ls - ld, Dur::from_ns(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown endpoint")]
+    fn unknown_pf_panics() {
+        let (_, fab, _) = setup();
+        fab.node_of(PfId(99));
+    }
+}

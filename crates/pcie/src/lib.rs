@@ -1,0 +1,44 @@
+//! PCIe fabric substrate for the IOctopus reproduction.
+//!
+//! Models the path between a device's DMA engines and the memory system:
+//!
+//! * [`link`] — PCIe generation/lane bandwidth and TLP packetization
+//!   overhead,
+//! * [`fabric`] — the set of endpoints (physical functions) in the machine,
+//!   each attached to one NUMA node's I/O controller, with per-direction
+//!   bandwidth servers,
+//! * [`bifurcation`] — the lane-splitting configurations of §3.2 (a x16
+//!   device split into two x8 endpoints wired to different sockets — the
+//!   paper's octoNIC prototype), and
+//! * an optional programmable-switch latency knob (§3.2's "programmable
+//!   PCIe switching" alternative, used by the ablation bench).
+//!
+//! The crate deliberately knows nothing about NICs or NVMe: it moves bytes
+//! between endpoints and memory, charging PCIe serialization, TLP overhead,
+//! and the [`memsys`] costs of the access itself.
+//!
+//! # Example
+//!
+//! ```
+//! use pcie::{PcieFabric, PcieGen, FabricConfig};
+//! use memsys::{MemSystem, MemConfig, NodeId};
+//! use simcore::Time;
+//!
+//! let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+//! let mut fab = PcieFabric::new(FabricConfig::default());
+//! let pf = fab.add_endpoint(NodeId(0), PcieGen::Gen3, 8);
+//! let buf = mem.alloc(NodeId(0), 4096);
+//! let stall = fab.dma_write(Time::ZERO, pf, &mut mem, buf, 1500);
+//! assert!(stall > simcore::Dur::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bifurcation;
+pub mod fabric;
+pub mod link;
+
+pub use bifurcation::Bifurcation;
+pub use fabric::{FabricConfig, PcieFabric, PfId};
+pub use link::{PcieGen, PcieLinkConfig};

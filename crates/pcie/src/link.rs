@@ -1,0 +1,131 @@
+//! PCIe link rates and TLP packetization overhead.
+
+/// PCIe signaling generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 8 GT/s per lane, 128b/130b encoding (the paper's hardware).
+    Gen3,
+    /// 16 GT/s per lane, 128b/130b encoding.
+    Gen4,
+}
+
+impl PcieGen {
+    /// Effective payload-carrying bandwidth per lane, bytes/second, after
+    /// line encoding.
+    pub fn bytes_per_sec_per_lane(self) -> u64 {
+        match self {
+            // 8 GT/s * 128/130 / 8 bits ≈ 0.9846 GB/s per lane.
+            PcieGen::Gen3 => 984_615_384,
+            PcieGen::Gen4 => 1_969_230_769,
+        }
+    }
+}
+
+/// A configured link: generation × lane count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcieLinkConfig {
+    /// Signaling generation.
+    pub gen: PcieGen,
+    /// Lane count (1, 2, 4, 8, 16).
+    pub lanes: u8,
+}
+
+impl PcieLinkConfig {
+    /// Creates a link config.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is not a power of two in `1..=16`.
+    pub fn new(gen: PcieGen, lanes: u8) -> Self {
+        assert!(
+            matches!(lanes, 1 | 2 | 4 | 8 | 16),
+            "invalid lane count {lanes}"
+        );
+        PcieLinkConfig { gen, lanes }
+    }
+
+    /// One-direction bandwidth in bytes/second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.gen.bytes_per_sec_per_lane() * self.lanes as u64
+    }
+}
+
+/// TLP header + framing overhead per transaction-layer packet, bytes.
+/// (12–16 B header + 6 B framing + 4 B LCRC, rounded.)
+pub const TLP_OVERHEAD_BYTES: u64 = 24;
+
+/// Typical max payload size negotiated on servers.
+pub const DEFAULT_MPS: u64 = 256;
+
+/// Wire bytes needed to move `payload` bytes of DMA data, given the
+/// negotiated max payload size: the payload plus per-TLP overhead.
+///
+/// # Example
+/// ```
+/// use pcie::link::wire_bytes;
+/// assert_eq!(wire_bytes(256, 256), 256 + 24);
+/// assert_eq!(wire_bytes(257, 256), 257 + 48);
+/// assert_eq!(wire_bytes(0, 256), 0);
+/// ```
+pub fn wire_bytes(payload: u64, mps: u64) -> u64 {
+    assert!(mps > 0, "max payload size must be positive");
+    if payload == 0 {
+        return 0;
+    }
+    let tlps = payload.div_ceil(mps);
+    payload + tlps * TLP_OVERHEAD_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gen3_x8_matches_published_rate() {
+        let cfg = PcieLinkConfig::new(PcieGen::Gen3, 8);
+        // ≈ 7.88 GB/s ≈ 63 Gb/s one direction.
+        let gbps = cfg.bytes_per_sec() as f64 * 8.0 / 1e9;
+        assert!((gbps - 63.0).abs() < 0.1, "got {gbps}");
+    }
+
+    #[test]
+    fn gen3_x16_covers_100gbe() {
+        let cfg = PcieLinkConfig::new(PcieGen::Gen3, 16);
+        assert!(cfg.bytes_per_sec() as f64 * 8.0 / 1e9 > 100.0);
+    }
+
+    #[test]
+    fn gen4_doubles_gen3() {
+        let g3 = PcieLinkConfig::new(PcieGen::Gen3, 8).bytes_per_sec();
+        let g4 = PcieLinkConfig::new(PcieGen::Gen4, 8).bytes_per_sec();
+        assert!((g4 as f64 / g3 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid lane count")]
+    fn bad_lanes() {
+        PcieLinkConfig::new(PcieGen::Gen3, 3);
+    }
+
+    #[test]
+    fn wire_bytes_packetization() {
+        assert_eq!(wire_bytes(64, 256), 64 + 24);
+        assert_eq!(wire_bytes(1500, 256), 1500 + 6 * 24);
+        assert_eq!(wire_bytes(0, 256), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_bytes_ge_payload(p in 0u64..1 << 24, mps in 1u64..4096) {
+            prop_assert!(wire_bytes(p, mps) >= p);
+        }
+
+        #[test]
+        fn prop_overhead_fraction_bounded(p in 1u64..1 << 24) {
+            // With MPS 256, overhead is at most 24/1 per TLP but relative
+            // overhead for multi-TLP payloads is bounded by 24/256 + slack.
+            let w = wire_bytes(p, DEFAULT_MPS);
+            prop_assert!(w <= p + (p.div_ceil(DEFAULT_MPS)) * TLP_OVERHEAD_BYTES);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Time-ordered event queue with stable FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A pending event: fires at `at`, carrying payload `E`.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue: events are popped in time order, and events
+/// scheduled for the same instant are popped in the order they were pushed.
+///
+/// Determinism matters: the whole simulation must replay identically for a
+/// given seed, so ties are broken by a monotonically increasing sequence
+/// number rather than by heap internals.
+///
+/// # Example
+/// ```
+/// use simcore::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(20), "b");
+/// q.push(Time::from_ns(10), "a");
+/// q.push(Time::from_ns(20), "c");
+/// assert_eq!(q.pop(), Some((Time::from_ns(10), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(20), "b")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(20), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push(&mut self, at: Time, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            (e.at, e.payload)
+        })
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped over the queue's lifetime.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), 3);
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counts_processed() {
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, ());
+        q.push(Time::ZERO, ());
+        q.pop();
+        assert_eq!(q.events_processed(), 1);
+        q.pop();
+        assert_eq!(q.events_processed(), 2);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(30), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(Time::from_ns(20), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time::from_ps(t), i);
+            }
+            let mut last = Time::ZERO;
+            let mut n = 0;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                n += 1;
+            }
+            prop_assert_eq!(n, times.len());
+        }
+
+        #[test]
+        fn prop_equal_times_fifo(n in 1usize..200) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(Time::from_ns(42), i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.pop().unwrap().1, i);
+            }
+        }
+    }
+}

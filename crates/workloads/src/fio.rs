@@ -1,0 +1,146 @@
+//! The fio storage workload of Figure 15.
+//!
+//! "We run 8 fio threads that each perform asynchronous direct reads,
+//! thereby bypassing the page cache and interacting directly with the SSD.
+//! Each thread continuously submits 32 read requests for 128 KB blocks.
+//! The fio jobs interact with an SSD remote from their CPU." (§5.4)
+
+use memsys::PhysAddr;
+
+/// Paper block size.
+pub const BLOCK_BYTES: u64 = 128 * 1024;
+/// Paper queue depth per job.
+pub const QUEUE_DEPTH: usize = 32;
+
+/// One fio job: a thread keeping `queue_depth` reads outstanding against
+/// one drive.
+#[derive(Debug)]
+pub struct FioJob {
+    /// Core the job runs on.
+    pub core: usize,
+    /// Index of the drive this job targets.
+    pub ssd: usize,
+    /// Target queue depth.
+    pub queue_depth: usize,
+    /// I/O buffers (node-local to the job), reused round-robin.
+    pub buffers: Vec<PhysAddr>,
+    inflight: usize,
+    next_buf: usize,
+    completed: u64,
+    bytes: u64,
+}
+
+impl FioJob {
+    /// Creates a job with pre-allocated buffers (one per queue slot).
+    ///
+    /// # Panics
+    /// Panics if fewer buffers than queue depth are supplied.
+    pub fn new(core: usize, ssd: usize, queue_depth: usize, buffers: Vec<PhysAddr>) -> Self {
+        assert!(buffers.len() >= queue_depth, "need a buffer per queue slot");
+        FioJob {
+            core,
+            ssd,
+            queue_depth,
+            buffers,
+            inflight: 0,
+            next_buf: 0,
+            completed: 0,
+            bytes: 0,
+        }
+    }
+
+    /// How many submissions are needed to restore the queue depth.
+    pub fn want_to_submit(&self) -> usize {
+        self.queue_depth.saturating_sub(self.inflight)
+    }
+
+    /// Takes the next buffer and marks one request in flight.
+    pub fn submit(&mut self) -> PhysAddr {
+        assert!(self.inflight < self.queue_depth, "queue full");
+        let buf = self.buffers[self.next_buf % self.buffers.len()];
+        self.next_buf += 1;
+        self.inflight += 1;
+        buf
+    }
+
+    /// Records a completion of `bytes`.
+    pub fn complete(&mut self, bytes: u64) {
+        assert!(self.inflight > 0, "completion without submission");
+        self.inflight -= 1;
+        self.completed += 1;
+        self.bytes += bytes;
+    }
+
+    /// Requests currently outstanding.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Completions so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Payload bytes completed so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> FioJob {
+        let bufs = (0..QUEUE_DEPTH)
+            .map(|i| PhysAddr(i as u64 * BLOCK_BYTES))
+            .collect();
+        FioJob::new(0, 0, QUEUE_DEPTH, bufs)
+    }
+
+    #[test]
+    fn keeps_queue_depth() {
+        let mut j = job();
+        assert_eq!(j.want_to_submit(), 32);
+        for _ in 0..32 {
+            j.submit();
+        }
+        assert_eq!(j.want_to_submit(), 0);
+        assert_eq!(j.inflight(), 32);
+        j.complete(BLOCK_BYTES);
+        assert_eq!(j.want_to_submit(), 1);
+        assert_eq!(j.bytes(), BLOCK_BYTES);
+        assert_eq!(j.completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue full")]
+    fn over_submission_rejected() {
+        let mut j = job();
+        for _ in 0..33 {
+            j.submit();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without submission")]
+    fn spurious_completion_rejected() {
+        job().complete(BLOCK_BYTES);
+    }
+
+    #[test]
+    fn buffers_rotate() {
+        let mut j = job();
+        let a = j.submit();
+        j.complete(BLOCK_BYTES);
+        let mut seen_again = false;
+        for _ in 0..64 {
+            let b = j.submit();
+            j.complete(BLOCK_BYTES);
+            if b == a {
+                seen_again = true;
+            }
+        }
+        assert!(seen_again, "round-robin reuse");
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generators for the IOctopus reproduction.
+//!
+//! Synthetic but faithful equivalents of every benchmark the paper's
+//! evaluation runs:
+//!
+//! * [`netperf`] — TCP_STREAM (Rx/Tx) and TCP_RR message patterns (§5.1),
+//! * [`stream`] — the STREAM memory-bandwidth antagonist pairs that congest
+//!   the QPI in §5.2 and §5.4,
+//! * [`pagerank`] — the GAP-suite PageRank victim of Figure 13,
+//! * [`memcached`] — the memcached/memslap key-value workload of Figure 10
+//!   (256 B keys, 512 KB values, swept SET ratio),
+//! * [`fio`] — the asynchronous direct-read storage workload of Figure 15
+//!   (8 jobs × QD 32 × 128 KB blocks).
+//!
+//! Each module provides the workload's *logic* (request mixes, access
+//! patterns, queue-depth management) as plain state machines; the
+//! `ioctopus` crate owns the event loop that drives them against the
+//! simulated hosts.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fio;
+pub mod memcached;
+pub mod netperf;
+pub mod pagerank;
+pub mod stream;
+
+pub use fio::FioJob;
+pub use memcached::{KvOp, KvWorkload};
+pub use netperf::{RrConfig, StreamConfig, StreamDirection};
+pub use pagerank::PageRank;
+pub use stream::StreamAntagonist;

@@ -1,0 +1,163 @@
+//! The memcached/memslap key-value workload of Figure 10.
+//!
+//! "We measure the aggregated throughput of a single memcached key-value
+//! store accessed by 14 memslap instances running on one client CPU. We use
+//! keys and values of 256 bytes and 512 KB, respectively … as we vary the
+//! ratio of SET operations" (§5.1.3).
+
+use simcore::SimRng;
+
+/// Paper key size.
+pub const KEY_BYTES: u64 = 256;
+/// Paper value size.
+pub const VALUE_BYTES: u64 = 512 * 1024;
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// GET: small request (key), large response (value).
+    Get {
+        /// Which key.
+        key: usize,
+    },
+    /// SET: large request (key + value), small response (status).
+    Set {
+        /// Which key.
+        key: usize,
+    },
+}
+
+impl KvOp {
+    /// Client→server request payload bytes.
+    pub fn request_bytes(&self) -> u64 {
+        match self {
+            KvOp::Get { .. } => KEY_BYTES,
+            KvOp::Set { .. } => KEY_BYTES + VALUE_BYTES,
+        }
+    }
+
+    /// Server→client response payload bytes.
+    pub fn response_bytes(&self) -> u64 {
+        match self {
+            KvOp::Get { .. } => VALUE_BYTES,
+            KvOp::Set { .. } => 64,
+        }
+    }
+
+    /// The key this op touches.
+    pub fn key(&self) -> usize {
+        match self {
+            KvOp::Get { key } | KvOp::Set { key } => *key,
+        }
+    }
+}
+
+/// The memslap-style request mix.
+#[derive(Debug)]
+pub struct KvWorkload {
+    set_ratio: f64,
+    keys: usize,
+    rng: SimRng,
+    gets: u64,
+    sets: u64,
+}
+
+impl KvWorkload {
+    /// A mix with `set_ratio` ∈ [0, 1] over `keys` distinct keys.
+    ///
+    /// # Panics
+    /// Panics if `set_ratio` is outside `[0, 1]` or `keys` is zero.
+    pub fn new(set_ratio: f64, keys: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&set_ratio), "ratio in [0,1]");
+        assert!(keys > 0, "need at least one key");
+        KvWorkload {
+            set_ratio,
+            keys,
+            rng: SimRng::seed(seed),
+            gets: 0,
+            sets: 0,
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let key = self.rng.below(self.keys as u64) as usize;
+        if self.rng.chance(self.set_ratio) {
+            self.sets += 1;
+            KvOp::Set { key }
+        } else {
+            self.gets += 1;
+            KvOp::Get { key }
+        }
+    }
+
+    /// Operations drawn so far: `(gets, sets)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.gets, self.sets)
+    }
+
+    /// Total bytes the store occupies (`keys × value`), which determines
+    /// whether the working set fits the LLC — the reason Figure 10's
+    /// ioct/local still shows memory traffic ("The working set here is
+    /// larger than in the netperf TCP Rx experiments").
+    pub fn store_bytes(&self) -> u64 {
+        self.keys as u64 * VALUE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes_match_paper() {
+        assert_eq!(KvOp::Get { key: 0 }.request_bytes(), 256);
+        assert_eq!(KvOp::Get { key: 0 }.response_bytes(), 512 * 1024);
+        assert_eq!(KvOp::Set { key: 0 }.request_bytes(), 256 + 512 * 1024);
+        assert_eq!(KvOp::Set { key: 0 }.response_bytes(), 64);
+    }
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        let mut w = KvWorkload::new(0.3, 64, 7);
+        for _ in 0..10_000 {
+            w.next_op();
+        }
+        let (g, s) = w.counts();
+        let ratio = s as f64 / (g + s) as f64;
+        assert!((ratio - 0.3).abs() < 0.03, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pure_get_and_pure_set() {
+        let mut g = KvWorkload::new(0.0, 4, 1);
+        let mut s = KvWorkload::new(1.0, 4, 1);
+        for _ in 0..100 {
+            assert!(matches!(g.next_op(), KvOp::Get { .. }));
+            assert!(matches!(s.next_op(), KvOp::Set { .. }));
+        }
+    }
+
+    #[test]
+    fn keys_in_range_and_deterministic() {
+        let mut a = KvWorkload::new(0.5, 16, 42);
+        let mut b = KvWorkload::new(0.5, 16, 42);
+        for _ in 0..500 {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            assert_eq!(oa, ob);
+            assert!(oa.key() < 16);
+        }
+    }
+
+    #[test]
+    fn store_exceeds_llc_with_paper_sizes() {
+        let w = KvWorkload::new(0.0, 128, 0);
+        assert!(w.store_bytes() > 35 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_rejected() {
+        KvWorkload::new(1.5, 4, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! netperf message patterns (§5.1).
+//!
+//! * TCP_STREAM: "the process repeatedly receives (or transmits) a
+//!   fixed-size buffer from (or to) a TCP socket."
+//! * TCP_RR: "measures the latency of sending a TCP message of a certain
+//!   size from the server machine to the client machine and receiving a
+//!   response of the same size."
+
+/// Which side of the server the stream exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamDirection {
+    /// Client → server (the server receives).
+    Rx,
+    /// Server → client (the server transmits, TSO enabled).
+    Tx,
+}
+
+/// A TCP_STREAM run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// netperf buffer size per send/recv call.
+    pub msg_bytes: u64,
+    /// Direction.
+    pub direction: StreamDirection,
+    /// Receive-window-style cap on unconsumed bytes in flight.
+    pub window_bytes: u64,
+}
+
+impl StreamConfig {
+    /// The paper's Figure 6/7 sweep: 64 B – 64 KB in powers of four.
+    pub fn paper_msg_sizes() -> Vec<u64> {
+        vec![64, 256, 1024, 4096, 16384, 65536]
+    }
+
+    /// An Rx stream with the default window.
+    pub fn rx(msg_bytes: u64) -> Self {
+        StreamConfig {
+            msg_bytes,
+            direction: StreamDirection::Rx,
+            window_bytes: 512 * 1024,
+        }
+    }
+
+    /// A Tx stream with the default window.
+    pub fn tx(msg_bytes: u64) -> Self {
+        StreamConfig {
+            msg_bytes,
+            direction: StreamDirection::Tx,
+            window_bytes: 512 * 1024,
+        }
+    }
+
+    /// Wire packets one message becomes at the given MSS.
+    pub fn packets_per_msg(&self, mss: u64) -> u64 {
+        self.msg_bytes.div_ceil(mss).max(1)
+    }
+}
+
+/// A TCP_RR run.
+#[derive(Debug, Clone, Copy)]
+pub struct RrConfig {
+    /// Request/response size (equal in both directions).
+    pub msg_bytes: u64,
+    /// Transactions to measure.
+    pub transactions: usize,
+}
+
+impl RrConfig {
+    /// The paper's Figure 9 sweep: 1 B – 64 KB.
+    pub fn paper_msg_sizes() -> Vec<u64> {
+        vec![
+            1, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+        ]
+    }
+
+    /// A run at `msg_bytes` with enough transactions for a stable mean.
+    pub fn new(msg_bytes: u64, transactions: usize) -> Self {
+        assert!(transactions > 0, "need at least one transaction");
+        RrConfig {
+            msg_bytes,
+            transactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_per_msg_matches_mss_math() {
+        let c = StreamConfig::rx(65536);
+        assert_eq!(c.packets_per_msg(1460), 45);
+        let small = StreamConfig::rx(64);
+        assert_eq!(small.packets_per_msg(1460), 1);
+    }
+
+    #[test]
+    fn paper_sweeps_are_sorted_and_bounded() {
+        let s = StreamConfig::paper_msg_sizes();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.first().unwrap(), 64);
+        assert_eq!(*s.last().unwrap(), 65536);
+        let r = RrConfig::paper_msg_sizes();
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*r.first().unwrap(), 1);
+        assert_eq!(*r.last().unwrap(), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_transactions_rejected() {
+        RrConfig::new(64, 0);
+    }
+}

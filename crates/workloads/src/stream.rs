@@ -1,0 +1,142 @@
+//! The STREAM memory-bandwidth antagonist (§5.2, §5.4).
+//!
+//! "To load the QPI, we occupy the other server cores with pairs of the
+//! STREAM memory bandwidth benchmark. Both STREAM instances in each pair
+//! target memory remote to their CPU, one reading and the other writing."
+//!
+//! Each antagonist is a loop that moves fixed-size chunks between its core
+//! and a (usually remote) node through
+//! [`memsys::MemSystem::cpu_stream_through`], so it consumes real simulated
+//! DRAM + interconnect bandwidth and *self-limits* under congestion —
+//! exactly how the real benchmark behaves when the QPI saturates
+//! (Figure 15 shows STREAM itself degrading too).
+
+use memsys::{MemSystem, NodeId};
+use simcore::{Dur, Time};
+
+use kernel::Cores;
+
+/// One STREAM instance.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamAntagonist {
+    /// Core the loop runs on.
+    pub core: usize,
+    /// Node whose memory it targets (remote in the paper's setup).
+    pub target: NodeId,
+    /// Whether this instance writes (one of each per pair).
+    pub write: bool,
+    /// Chunk moved per loop iteration.
+    pub chunk_bytes: u64,
+    bytes_done: u64,
+}
+
+impl StreamAntagonist {
+    /// Creates an instance; pairs are conventionally `(reader, writer)`.
+    pub fn new(core: usize, target: NodeId, write: bool) -> Self {
+        StreamAntagonist {
+            core,
+            target,
+            write,
+            // One array sweep per iteration: large chunks keep realistic
+            // amounts of traffic in flight, which is what actually builds
+            // interconnect queueing under saturation.
+            chunk_bytes: 1024 * 1024,
+            bytes_done: 0,
+        }
+    }
+
+    /// A `(reader, writer)` pair on two cores targeting `target`.
+    pub fn pair(core_a: usize, core_b: usize, target: NodeId) -> (Self, Self) {
+        (
+            StreamAntagonist::new(core_a, target, false),
+            StreamAntagonist::new(core_b, target, true),
+        )
+    }
+
+    /// Runs one loop iteration starting at `now`; returns when the next
+    /// iteration may start.
+    pub fn step(&mut self, now: Time, mem: &mut MemSystem, cores: &mut Cores) -> Time {
+        let node = mem.topology().node_of_core(self.core);
+        let stall = mem.cpu_stream_through(now, node, self.target, self.chunk_bytes, self.write);
+        // A small fixed loop overhead plus the memory stall.
+        let done = cores.run(self.core, now, stall + Dur::from_ns(200));
+        self.bytes_done += self.chunk_bytes;
+        done
+    }
+
+    /// Bytes moved so far.
+    pub fn bytes_done(&self) -> u64 {
+        self.bytes_done
+    }
+
+    /// Achieved bandwidth over `[from, to]`.
+    pub fn bandwidth(&self, from: Time, to: Time) -> f64 {
+        let secs = to.since(from).as_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_done as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::MemConfig;
+
+    #[test]
+    fn single_instance_approaches_qpi_share() {
+        let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut cores = Cores::new(28);
+        let mut s = StreamAntagonist::new(0, NodeId(1), false);
+        let mut t = Time::ZERO;
+        while t < Time::from_ms(2) {
+            t = s.step(t, &mut mem, &mut cores);
+        }
+        let bw = s.bandwidth(Time::ZERO, t);
+        // One reader alone: bounded by QPI direction (38.4 GB/s) and its own
+        // loop; must be in the multi-GB/s range.
+        assert!(bw > 5e9, "bw = {bw:.3e}");
+        assert!(bw < 40e9, "bw = {bw:.3e}");
+    }
+
+    #[test]
+    fn many_pairs_saturate_and_self_limit() {
+        let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut cores = Cores::new(28);
+        // 6 pairs as in Figure 11's x-axis maximum.
+        let mut ants: Vec<StreamAntagonist> = (0..6)
+            .flat_map(|i| {
+                let (r, w) = StreamAntagonist::pair(2 + 2 * i, 3 + 2 * i, NodeId(1));
+                [r, w]
+            })
+            .collect();
+        let mut clocks = vec![Time::ZERO; ants.len()];
+        for _ in 0..200 {
+            for (i, a) in ants.iter_mut().enumerate() {
+                clocks[i] = a.step(clocks[i], &mut mem, &mut cores);
+            }
+        }
+        let end = *clocks.iter().max().unwrap();
+        let total: f64 = ants.iter().map(|a| a.bandwidth(Time::ZERO, end)).sum();
+        // Aggregate cannot exceed the QPI direction capacities by much.
+        assert!(total < 85e9, "total = {total:.3e}");
+        // And congestion keeps the per-instance share well below solo rate.
+        let per = total / ants.len() as f64;
+        assert!(per < 10e9, "per-instance {per:.3e}");
+    }
+
+    #[test]
+    fn reader_and_writer_use_opposite_directions() {
+        let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
+        let mut cores = Cores::new(28);
+        let (mut r, mut w) = StreamAntagonist::pair(0, 1, NodeId(1));
+        r.step(Time::ZERO, &mut mem, &mut cores);
+        let after_read = mem.counters().interconnect_bytes;
+        w.step(Time::ZERO, &mut mem, &mut cores);
+        let after_write = mem.counters().interconnect_bytes;
+        assert!(after_read >= r.chunk_bytes);
+        assert!(after_write >= after_read + w.chunk_bytes);
+    }
+}

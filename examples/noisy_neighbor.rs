@@ -1,0 +1,38 @@
+//! Noisy neighbors on the interconnect (the paper's §5.2): STREAM pairs
+//! saturate the QPI while a latency-sensitive service shares the machine.
+//!
+//! With the NIC remote to the service, every packet DMA crosses the
+//! congested interconnect and latency/throughput crater; the octoNIC keeps
+//! the I/O path node-local and nearly unaffected.
+//!
+//! ```text
+//! cargo run --release --example noisy_neighbor
+//! ```
+
+use ioctopus::config::Placement;
+use ioctopus::experiments::congestion;
+
+fn main() {
+    println!("QPI noisy neighbors: netperf Rx + sockperf latency vs STREAM pairs\n");
+    println!(
+        "{:>7} | {:>11} {:>11} {:>7} | {:>10} {:>10}",
+        "pairs", "octo[Gb/s]", "rem[Gb/s]", "gain", "octo[us]", "rem[us]"
+    );
+    for pairs in [1usize, 3, 6] {
+        let t_octo = congestion::run_fig11(Placement::Octopus, pairs, 8);
+        let t_rem = congestion::run_fig11(Placement::Remote, pairs, 8);
+        let l_octo = congestion::run_fig12(Placement::Octopus, pairs, 50);
+        let l_rem = congestion::run_fig12(Placement::Remote, pairs, 50);
+        println!(
+            "{:>7} | {:>11.2} {:>11.2} {:>6.2}x | {:>10.2} {:>10.2}",
+            pairs,
+            t_octo.throughput_gbps,
+            t_rem.throughput_gbps,
+            t_octo.throughput_gbps / t_rem.throughput_gbps,
+            l_octo.mean_us,
+            l_rem.mean_us,
+        );
+    }
+    println!("\nThe octoNIC decouples I/O from interconnect load: the paper measured");
+    println!("1.82-2.67x the remote throughput and 10-22% lower latency.");
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the IOctopus (ASPLOS 2020) reproduction workspace.
+//!
+//! This package exists to host the workspace-level runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). It re-exports
+//! the member crates so examples and tests can use one coherent namespace.
+//!
+//! Start with [`ioctopus`] — the core crate — or run:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+pub use ioctopus;
+pub use kernel;
+pub use memsys;
+pub use nic;
+pub use nvme;
+pub use pcie;
+pub use simcore;
+pub use workloads;

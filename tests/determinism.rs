@@ -1,0 +1,48 @@
+//! Reproducibility: every experiment is bit-for-bit deterministic for a
+//! given configuration — a property the whole figure-regeneration pipeline
+//! rests on.
+
+use ioctopus::config::Placement;
+use ioctopus::experiments::{memcached, nvme_fio, pktgen, tcp_rr, tcp_stream};
+
+#[test]
+fn tcp_stream_is_deterministic() {
+    let a = tcp_stream::run_rx(Placement::Octopus, 16384, 4);
+    let b = tcp_stream::run_rx(Placement::Octopus, 16384, 4);
+    assert_eq!(a.throughput_gbps.to_bits(), b.throughput_gbps.to_bits());
+    assert_eq!(a.membw_gbps.to_bits(), b.membw_gbps.to_bits());
+    assert_eq!(a.cpu_cores.to_bits(), b.cpu_cores.to_bits());
+}
+
+#[test]
+fn pktgen_is_deterministic() {
+    let a = pktgen::run(Placement::Remote, 256, 4, false);
+    let b = pktgen::run(Placement::Remote, 256, 4, false);
+    assert_eq!(a.rate_per_sec.to_bits(), b.rate_per_sec.to_bits());
+}
+
+#[test]
+fn rr_is_deterministic() {
+    let a = tcp_rr::run(tcp_rr::RrConfig::Ll, 512, 30);
+    let b = tcp_rr::run(tcp_rr::RrConfig::Ll, 512, 30);
+    assert_eq!(a.mean_us.to_bits(), b.mean_us.to_bits());
+    assert_eq!(a.p99_us.to_bits(), b.p99_us.to_bits());
+}
+
+#[test]
+fn memcached_is_deterministic_per_seed() {
+    let a = memcached::run(Placement::Octopus, 0.3, 6);
+    let b = memcached::run(Placement::Octopus, 0.3, 6);
+    assert_eq!(a.rate_per_sec.to_bits(), b.rate_per_sec.to_bits());
+}
+
+#[test]
+fn nvme_is_deterministic() {
+    let a = nvme_fio::run_raw(3, false, 4);
+    let b = nvme_fio::run_raw(3, false, 4);
+    assert_eq!(a.fio_bytes_per_sec.to_bits(), b.fio_bytes_per_sec.to_bits());
+    assert_eq!(
+        a.stream_bytes_per_sec.to_bits(),
+        b.stream_bytes_per_sec.to_bits()
+    );
+}

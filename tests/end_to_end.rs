@@ -1,0 +1,82 @@
+//! Cross-crate integration: the paper's headline invariants, end to end
+//! through memsys + pcie + nic + kernel + ioctopus.
+
+use ioctopus::config::Placement;
+use ioctopus::experiments::{pktgen, tcp_stream};
+
+#[test]
+fn octopus_eliminates_nudma_on_rx() {
+    let local = tcp_stream::run_rx(Placement::Local, 65536, 6);
+    let remote = tcp_stream::run_rx(Placement::Remote, 65536, 6);
+    let octo = tcp_stream::run_rx(Placement::Octopus, 65536, 6);
+    // The three-way ordering that defines the paper.
+    assert!(
+        octo.throughput_gbps > remote.throughput_gbps,
+        "octo {:.2} must beat remote {:.2}",
+        octo.throughput_gbps,
+        remote.throughput_gbps
+    );
+    let vs_local = octo.throughput_gbps / local.throughput_gbps;
+    assert!(
+        (0.95..=1.05).contains(&vs_local),
+        "octo must match local: {vs_local:.3}"
+    );
+    // And the memory-system signature: octo has no DRAM traffic, remote
+    // has multiples of its throughput.
+    assert!(octo.membw_gbps < 0.2 * octo.throughput_gbps);
+    assert!(remote.membw_gbps > 1.5 * remote.throughput_gbps);
+}
+
+#[test]
+fn octopus_runs_on_the_far_socket_yet_stays_local() {
+    // Octopus pins the app to node 1 (like Remote) — the locality comes
+    // from steering, not from placement.
+    assert_eq!(Placement::Octopus.app_core(), Placement::Remote.app_core());
+    let octo = pktgen::run(Placement::Octopus, 64, 4, false);
+    let local = pktgen::run(Placement::Local, 64, 4, false);
+    let ratio = octo.rate_per_sec / local.rate_per_sec;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "pktgen octo/local = {ratio:.3}"
+    );
+}
+
+#[test]
+fn nudma_signature_scales_with_message_size() {
+    // The paper's Figure 6 trend: the local advantage grows from small to
+    // large messages (per-syscall overheads amortize away, per-packet
+    // NUDMA costs remain).
+    let small_l = tcp_stream::run_rx(Placement::Local, 64, 6);
+    let small_r = tcp_stream::run_rx(Placement::Remote, 64, 6);
+    let big_l = tcp_stream::run_rx(Placement::Local, 65536, 6);
+    let big_r = tcp_stream::run_rx(Placement::Remote, 65536, 6);
+    let small_ratio = small_l.throughput_gbps / small_r.throughput_gbps;
+    let big_ratio = big_l.throughput_gbps / big_r.throughput_gbps;
+    assert!(
+        big_ratio > small_ratio,
+        "gap grows with size: {small_ratio:.3} -> {big_ratio:.3}"
+    );
+    // Throughput itself also grows with message size in every config.
+    assert!(big_l.throughput_gbps > small_l.throughput_gbps * 2.0);
+}
+
+#[test]
+fn tx_is_nudma_insensitive_but_rx_is_not() {
+    // Figure 7 vs Figure 6 in one assertion: TSO Tx hides NUDMA (the CPU
+    // writes LLC-hot buffers either way), Rx does not.
+    let tx_gap = {
+        let l = tcp_stream::run_tx(Placement::Local, 65536, 6);
+        let r = tcp_stream::run_tx(Placement::Remote, 65536, 6);
+        l.throughput_gbps / r.throughput_gbps
+    };
+    let rx_gap = {
+        let l = tcp_stream::run_rx(Placement::Local, 65536, 6);
+        let r = tcp_stream::run_rx(Placement::Remote, 65536, 6);
+        l.throughput_gbps / r.throughput_gbps
+    };
+    assert!(tx_gap < 1.1, "Tx gap {tx_gap:.3} should be ~1.0");
+    assert!(
+        rx_gap > tx_gap + 0.05,
+        "Rx gap {rx_gap:.3} must exceed Tx gap {tx_gap:.3}"
+    );
+}

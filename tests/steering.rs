@@ -1,0 +1,45 @@
+//! Integration tests of the steering machinery across kernel + nic:
+//! IOctoRFS flow movement, ordering guarantees, ARFS rule lifecycle.
+
+use ioctopus::experiments::migration;
+
+#[test]
+fn octonic_migration_is_lossless_and_ordered() {
+    let r = migration::run(true);
+    assert_eq!(r.ooo_packets, 0, "no out-of-order packets (paper §5.3)");
+    assert_eq!(r.dropped, 0, "no lost packets (paper §5.3)");
+    // The flow really moved: PF1 carries the traffic at the end.
+    let (pf0_after, pf1_after) = migration::mean_rates(&r, 8.0, 9.5);
+    assert!(
+        pf1_after > pf0_after * 5.0,
+        "PF1 {pf1_after:.1} vs PF0 {pf0_after:.1}"
+    );
+}
+
+#[test]
+fn standard_firmware_cannot_move_the_flow() {
+    let r = migration::run(false);
+    let (_, pf1_after) = migration::mean_rates(&r, 8.0, 9.5);
+    assert!(
+        pf1_after < 0.5,
+        "MAC-based steering keeps the flow on PF0 (got PF1={pf1_after:.2} Gb/s)"
+    );
+}
+
+#[test]
+fn migration_throughput_transition_is_the_papers_shape() {
+    // octoNIC: level before ≈ level after (both "local").
+    let octo = migration::run(true);
+    let (b, _) = migration::mean_rates(&octo, 1.0, 4.0);
+    let (_, a) = migration::mean_rates(&octo, 6.0, 9.5);
+    assert!(
+        (a / b) > 0.85 && (a / b) < 1.15,
+        "octo level: {b:.1} -> {a:.1}"
+    );
+    // ethNIC: clear drop to remote level after migration.
+    let eth = migration::run(false);
+    let (eb, _) = migration::mean_rates(&eth, 1.0, 4.0);
+    let (ea, _) = migration::mean_rates(&eth, 6.0, 9.5);
+    assert!(ea < eb * 0.95, "eth level must drop: {eb:.1} -> {ea:.1}");
+    assert!(ea > eb * 0.4, "but still flow (remote level): {ea:.1}");
+}
