@@ -25,8 +25,10 @@ fn main() {
         });
         let pf = fab.add_endpoint(NodeId(0), PcieGen::Gen3, 8);
         let buf = mem.alloc(NodeId(0), 1 << 20);
-        let w = fab.dma_write(Time::ZERO, pf, &mut mem, buf, 1448);
-        let r = fab.dma_read(Time::from_us(10), pf, &mut mem, buf.offset(4096), 1448);
+        let w = fab.dma_write(Time::ZERO, pf, &mut mem, buf, 1448).unwrap();
+        let r = fab
+            .dma_read(Time::from_us(10), pf, &mut mem, buf.offset(4096), 1448)
+            .unwrap();
         println!("{:>12} | {:>12.0} {:>12.0}", sw_ns, w.as_ns(), r.as_ns());
     }
     println!("\nstatic bifurcation (switch=0) is the paper's prototype choice; a switch");

@@ -1,61 +1,72 @@
-//! Criterion microbenchmarks of the simulator substrate itself: event queue
+//! Microbenchmarks of the simulator substrate itself: event queue
 //! throughput, cache-model probes, and link reservations — the operations
 //! every experiment is built from.
+//!
+//! Self-contained timing harness (`harness = false`): each case is warmed
+//! up, then timed over a fixed iteration count, reporting ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use memsys::{AccessKind, MemConfig, MemSystem, NodeId};
 use simcore::{BwLink, Dur, EventQueue, Time};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push(Time::from_ns(i * 7 % 997), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+fn time_case<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = started.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per_iter:>12.1} ns/iter ({iters} iters)");
+}
+
+fn bench_event_queue() {
+    time_case("event_queue_push_pop_1k", 1_000, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(Time::from_ns(i * 7 % 997), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum);
     });
 }
 
-fn bench_link_reserve(c: &mut Criterion) {
-    c.bench_function("bwlink_reserve", |b| {
-        let mut l = BwLink::new("b", BwLink::gbps(100.0), Dur::ZERO);
-        let mut t = Time::ZERO;
-        b.iter(|| {
-            t += Dur::from_ns(100);
-            black_box(l.reserve(t, 1500))
-        })
+fn bench_link_reserve() {
+    let mut l = BwLink::new("b", BwLink::gbps(100.0), Dur::ZERO);
+    let mut t = Time::ZERO;
+    time_case("bwlink_reserve", 1_000_000, || {
+        t += Dur::from_ns(100);
+        black_box(l.reserve(t, 1500));
     });
 }
 
-fn bench_mem_access(c: &mut Criterion) {
-    c.bench_function("memsys_cpu_read_1448B_hit", |b| {
-        let mut m = MemSystem::new(MemConfig::dual_socket_broadwell());
-        let buf = m.alloc(NodeId(0), 1 << 20);
-        m.cpu_write(Time::ZERO, NodeId(0), buf, 4096, AccessKind::Stream);
-        b.iter(|| black_box(m.cpu_read(Time::ZERO, NodeId(0), buf, 1448, AccessKind::Stream)))
+fn bench_mem_access() {
+    let mut m = MemSystem::new(MemConfig::dual_socket_broadwell());
+    let buf = m.alloc(NodeId(0), 1 << 20);
+    m.cpu_write(Time::ZERO, NodeId(0), buf, 4096, AccessKind::Stream);
+    time_case("memsys_cpu_read_1448B_hit", 100_000, || {
+        black_box(m.cpu_read(Time::ZERO, NodeId(0), buf, 1448, AccessKind::Stream));
     });
-    c.bench_function("memsys_dma_write_remote_1448B", |b| {
-        let mut m = MemSystem::new(MemConfig::dual_socket_broadwell());
-        let buf = m.alloc(NodeId(0), 1 << 24);
-        let mut off = 0u64;
-        b.iter(|| {
-            off = (off + 2048) % (1 << 23);
-            black_box(m.dma_write(Time::ZERO, NodeId(1), buf.offset(off), 1448))
-        })
+
+    let mut m = MemSystem::new(MemConfig::dual_socket_broadwell());
+    let buf = m.alloc(NodeId(0), 1 << 24);
+    let mut off = 0u64;
+    time_case("memsys_dma_write_remote_1448B", 100_000, || {
+        off = (off + 2048) % (1 << 23);
+        black_box(m.dma_write(Time::ZERO, NodeId(1), buf.offset(off), 1448));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_link_reserve,
-    bench_mem_access
-);
-criterion_main!(benches);
+fn main() {
+    bench::header("sim_microbench", "substrate operation costs");
+    let started = Instant::now();
+    bench_event_queue();
+    bench_link_reserve();
+    bench_mem_access();
+    bench::footer(started);
+}

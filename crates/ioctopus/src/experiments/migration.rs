@@ -18,6 +18,7 @@ use kernel::NetdevId;
 use simcore::{Dur, Time};
 
 use crate::config::{BuildOpts, Placement};
+use crate::experiments::pf_rates;
 use crate::netloop::{make_rx_stream, App, NetLoop};
 use crate::results::{MigrationResult, PfSample};
 use crate::system::build_duplex;
@@ -49,31 +50,11 @@ pub fn run(octo: bool) -> MigrationResult {
     nl.start_apps(Time::ZERO);
     nl.run(Time::ZERO + TOTAL);
 
-    // Convert cumulative per-PF byte samples into per-interval rates.
-    let mut samples = Vec::new();
-    let mut prev: Option<(Time, Vec<(u64, u64)>)> = None;
-    for (t, snap) in &nl.samples {
-        if let Some((pt, psnap)) = &prev {
-            let dt = t.since(*pt).as_secs();
-            if dt > 0.0 {
-                let rate = |i: usize| {
-                    let cur = snap[i].0 + snap[i].1;
-                    let old = psnap[i].0 + psnap[i].1;
-                    (cur - old) as f64 * 8.0 / 1e9 / dt
-                };
-                samples.push(PfSample {
-                    // Present on the paper's 0-10 s axis.
-                    t_secs: t.as_ms(),
-                    pf0_gbps: rate(0),
-                    pf1_gbps: rate(1),
-                });
-            }
-        }
-        prev = Some((*t, snap.clone()));
-    }
     MigrationResult {
         config: if octo { "octoNIC" } else { "ethNIC" }.to_string(),
-        samples,
+        // Present cumulative samples as per-interval rates on the paper's
+        // 0-10 s axis.
+        samples: pf_rates(&nl.samples),
         ooo_packets: nl.duplex.server.ooo_count(sock),
         dropped: nl.duplex.server.nic.rx_dropped(),
     }

@@ -12,6 +12,7 @@
 //! | [`migration`] | Fig. 14 |
 //! | [`nvme_fio`] | Fig. 15, plus the OctoSSD extension |
 //! | [`trends`] | Fig. 2 (motivation) |
+//! | [`failover`] | robustness companion to Fig. 14 (fault injection) |
 //!
 //! Every runner is deterministic for a given configuration and returns a
 //! typed result; the `bench` crate's harnesses print them in the paper's
@@ -19,6 +20,7 @@
 
 pub mod colocation;
 pub mod congestion;
+pub mod failover;
 pub mod memcached;
 pub mod migration;
 pub mod multicore;
@@ -28,6 +30,7 @@ pub mod tcp_rr;
 pub mod tcp_stream;
 pub mod trends;
 
+use crate::results::PfSample;
 use simcore::Time;
 
 /// A measurement window: metrics are captured between `warmup` and `end`.
@@ -57,4 +60,31 @@ impl Window {
 /// Converts a byte count over the window to Gb/s.
 pub fn gbps(bytes: u64, w: Window) -> f64 {
     bytes as f64 * 8.0 / 1e9 / w.secs()
+}
+
+/// Converts a cumulative per-PF `(time, [(rx, tx); 2])` sample trace (as
+/// collected by `NetLoop::enable_sampling`) into per-interval throughput
+/// rates on the presentation axis (sample time in milliseconds).
+pub fn pf_rates(samples: &[(Time, Vec<(u64, u64)>)]) -> Vec<PfSample> {
+    let mut out = Vec::new();
+    let mut prev: Option<&(Time, Vec<(u64, u64)>)> = None;
+    for cur in samples {
+        if let Some(p) = prev {
+            let dt = cur.0.since(p.0).as_secs();
+            if dt > 0.0 {
+                let rate = |i: usize| {
+                    let c = cur.1[i].0 + cur.1[i].1;
+                    let o = p.1[i].0 + p.1[i].1;
+                    (c - o) as f64 * 8.0 / 1e9 / dt
+                };
+                out.push(PfSample {
+                    t_secs: cur.0.as_ms(),
+                    pf0_gbps: rate(0),
+                    pf1_gbps: rate(1),
+                });
+            }
+        }
+        prev = Some(cur);
+    }
+    out
 }

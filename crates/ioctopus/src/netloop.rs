@@ -149,6 +149,7 @@ pub struct NetLoop {
     sample_every: Option<Dur>,
     /// Per-PF `(time, rx_bytes, tx_bytes)` samples of the server NIC.
     pub samples: Vec<(Time, Vec<(u64, u64)>)>,
+    watchdog_every: Option<Dur>,
     now: Time,
 }
 
@@ -167,6 +168,7 @@ impl NetLoop {
             pagerank_done: None,
             sample_every: None,
             samples: Vec::new(),
+            watchdog_every: None,
             now: Time::ZERO,
         }
     }
@@ -205,6 +207,27 @@ impl NetLoop {
     /// Schedules a thread migration (Figure 14's `sched_setaffinity`).
     pub fn schedule_migration(&mut self, at: Time, thread: ThreadId, core: usize) {
         self.q.push(at, Event::Migrate { thread, core });
+    }
+
+    /// Installs a fault plan against the server and starts the server
+    /// driver's watchdog ticking every `watchdog_every` (the watchdog is
+    /// what turns lost interrupts and dropped doorbells into recoveries
+    /// rather than hangs). The plan's events enter the same queue as all
+    /// other events, so a faulted run stays fully deterministic.
+    pub fn install_fault_plan(&mut self, plan: &simcore::FaultPlan, watchdog_every: Dur) {
+        for e in plan.events() {
+            self.q.push(
+                e.at,
+                Event::Fault {
+                    pf: e.pf,
+                    kind: e.kind,
+                },
+            );
+        }
+        if self.watchdog_every.is_none() {
+            self.watchdog_every = Some(watchdog_every);
+            self.q.push(Time::ZERO + watchdog_every, Event::Watchdog);
+        }
     }
 
     /// Adds a STREAM antagonist and starts its loop at `start`.
@@ -341,6 +364,17 @@ impl NetLoop {
                 self.samples.push((now, snap));
                 if let Some(every) = self.sample_every {
                     self.q.push(now + every, Event::Sample);
+                }
+            }
+            Event::Fault { pf, kind } => {
+                let target = self.duplex.server_pfs[pf % self.duplex.server_pfs.len()];
+                self.duplex.server.apply_fault(now, target, kind);
+            }
+            Event::Watchdog => {
+                let outs = self.duplex.server.watchdog(now);
+                self.push_outs(Side::Server, outs);
+                if let Some(every) = self.watchdog_every {
+                    self.q.push(now + every, Event::Watchdog);
                 }
             }
             Event::StreamStep { idx } => {
@@ -585,7 +619,8 @@ impl NetLoop {
                         }
                     };
                     if finished {
-                        self.rr_client_send(i, done_at);
+                        // Anchor at the event time (see rr_server_wake).
+                        self.rr_client_send(i, now);
                     }
                 }
                 RecvOutcome::WouldBlock => return,
@@ -641,7 +676,13 @@ impl NetLoop {
                     a.server_acc >= a.cur_op.request_bytes()
                 };
                 if ready {
-                    self.kv_serve(i, done_at);
+                    // Serve at the event's dispatch time, not the chained
+                    // recv completion: the worker core's busy-until horizon
+                    // already orders the serve after the copy, and issuing
+                    // the value-store reservation at a future `done_at`
+                    // would push shared FIFO horizons ahead of simulated
+                    // time (a positive feedback that wedges the run).
+                    self.kv_serve(i, now);
                 }
                 // Re-enter recv: either more data is already buffered
                 // (continues the drain) or the thread parks for the next
@@ -735,7 +776,10 @@ impl NetLoop {
                     }
                 };
                 if finished {
-                    self.kv_client_send(i, done_at);
+                    // Anchor the next request at the event time (see
+                    // kv_server_wake): the client core's horizon carries
+                    // the ordering.
+                    self.kv_client_send(i, now);
                 } else {
                     self.q.push(
                         done_at,
@@ -1020,7 +1064,15 @@ mod tests {
     #[test]
     fn sampling_produces_a_monotone_timeline() {
         let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
-        let app = make_rx_stream(&mut duplex, 14, 0, kernel::NetdevId(0), 65536, 512 * 1024, 4010);
+        let app = make_rx_stream(
+            &mut duplex,
+            14,
+            0,
+            kernel::NetdevId(0),
+            65536,
+            512 * 1024,
+            4010,
+        );
         let mut nl = NetLoop::new(duplex);
         let _ = nl.add_app(App::Rx(app));
         nl.enable_sampling(Dur::from_us(100));
@@ -1030,17 +1082,22 @@ mod tests {
         assert!(nl.samples.windows(2).all(|w| w[0].0 < w[1].0), "monotone");
         // Cumulative per-PF byte counters never decrease.
         for pf in 0..2 {
-            assert!(nl
-                .samples
-                .windows(2)
-                .all(|w| w[0].1[pf].0 <= w[1].1[pf].0));
+            assert!(nl.samples.windows(2).all(|w| w[0].1[pf].0 <= w[1].1[pf].0));
         }
     }
 
     #[test]
     fn migration_mid_stream_is_transparent_to_the_app() {
         let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
-        let app = make_rx_stream(&mut duplex, 0, 0, kernel::NetdevId(0), 65536, 512 * 1024, 4011);
+        let app = make_rx_stream(
+            &mut duplex,
+            0,
+            0,
+            kernel::NetdevId(0),
+            65536,
+            512 * 1024,
+            4011,
+        );
         let th = app.server_thread;
         let sock = app.server_sock;
         let mut nl = NetLoop::new(duplex);
@@ -1052,7 +1109,10 @@ mod tests {
             App::Rx(a) => a.consumed,
             _ => unreachable!(),
         };
-        assert!(consumed > 5_000_000, "stream survived migration: {consumed}");
+        assert!(
+            consumed > 5_000_000,
+            "stream survived migration: {consumed}"
+        );
         assert_eq!(nl.duplex.server.ooo_count(sock), 0);
         assert_eq!(nl.duplex.server.nic.rx_dropped(), 0);
     }

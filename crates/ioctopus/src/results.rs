@@ -1,10 +1,8 @@
 //! Typed results the experiment runners return and the bench harnesses
 //! print.
 
-use serde::Serialize;
-
 /// One throughput-style measurement (Figures 6, 7, 8, 10, 11, 13).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputResult {
     /// Configuration label ("ioct", "local", "remote", …).
     pub config: String,
@@ -21,7 +19,7 @@ pub struct ThroughputResult {
 }
 
 /// One latency measurement (Figures 9, 12).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyResult {
     /// Configuration label ("ll", "rr", "llnd", …).
     pub config: String,
@@ -38,7 +36,7 @@ pub struct LatencyResult {
 }
 
 /// One Figure 14 sample point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PfSample {
     /// Sample time, seconds.
     pub t_secs: f64,
@@ -49,7 +47,7 @@ pub struct PfSample {
 }
 
 /// Figure 14's full timeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MigrationResult {
     /// Configuration label ("octoNIC" / "ethNIC").
     pub config: String,
@@ -61,8 +59,28 @@ pub struct MigrationResult {
     pub dropped: u64,
 }
 
+/// Fault-injection timeline: throughput through a PF outage, plus the
+/// recovery counters that show *how* the stack survived (or didn't).
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Configuration label ("octoNIC" / "ethNIC").
+    pub config: String,
+    /// Per-PF throughput timeline.
+    pub samples: Vec<PfSample>,
+    /// Flow rules the firmware moved off the dead PF.
+    pub resteered_flows: u64,
+    /// Descriptors completed with error status by the NIC.
+    pub error_completions: u64,
+    /// Packets dropped because their PF was dead and no failover existed.
+    pub dropped_pf_dead: u64,
+    /// Queues the driver watchdog polled after a lost interrupt.
+    pub watchdog_recoveries: u64,
+    /// Bytes the server application consumed over the run.
+    pub consumed: u64,
+}
+
 /// Figure 13's co-location measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ColocationResult {
     /// Configuration label.
     pub config: String,
@@ -74,7 +92,7 @@ pub struct ColocationResult {
 }
 
 /// Figure 15's normalized-throughput point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NvmeResult {
     /// Number of STREAM antagonist instances.
     pub streams: usize,
@@ -111,7 +129,12 @@ impl CsvRow for ThroughputResult {
     fn csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{}",
-            self.config, self.x, self.throughput_gbps, self.membw_gbps, self.cpu_cores, self.rate_per_sec
+            self.config,
+            self.x,
+            self.throughput_gbps,
+            self.membw_gbps,
+            self.cpu_cores,
+            self.rate_per_sec
         )
     }
 }
@@ -193,7 +216,11 @@ mod tests {
             ThroughputResult::csv_header().split(',').count(),
             t.csv_row().split(',').count()
         );
-        let s = PfSample { t_secs: 1.0, pf0_gbps: 2.0, pf1_gbps: 3.0 };
+        let s = PfSample {
+            t_secs: 1.0,
+            pf0_gbps: 2.0,
+            pf1_gbps: 3.0,
+        };
         assert_eq!(s.csv_row(), "1,2,3");
     }
 

@@ -81,6 +81,16 @@ pub enum Event {
     },
     /// Periodic per-PF throughput sampling (Figure 14).
     Sample,
+    /// A scheduled hardware fault fires on the server (fault plans always
+    /// target the instrumented machine).
+    Fault {
+        /// Raw PF index into the server's PF list.
+        pf: usize,
+        /// What happens.
+        kind: simcore::FaultKind,
+    },
+    /// Periodic driver-watchdog tick on the server.
+    Watchdog,
     /// One STREAM-antagonist loop iteration.
     StreamStep {
         /// Antagonist index.
@@ -213,8 +223,8 @@ mod tests {
     fn server_nic_spans_both_sockets() {
         let d = build_duplex(Placement::Octopus, BuildOpts::default());
         assert_eq!(d.server_pfs.len(), 2);
-        assert_eq!(d.server.fabric.node_of(d.server_pfs[0]), NodeId(0));
-        assert_eq!(d.server.fabric.node_of(d.server_pfs[1]), NodeId(1));
+        assert_eq!(d.server.fabric.node_of(d.server_pfs[0]), Some(NodeId(0)));
+        assert_eq!(d.server.fabric.node_of(d.server_pfs[1]), Some(NodeId(1)));
         assert_eq!(d.client_pfs.len(), 1);
     }
 

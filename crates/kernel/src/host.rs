@@ -24,9 +24,7 @@ use nic::desc::TxFragment;
 use nic::desc::{CQE_BYTES, DESC_BYTES};
 use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc};
 use pcie::{PcieFabric, PfId};
-#[cfg(test)]
-use simcore::Dur;
-use simcore::Time;
+use simcore::{Dur, FaultKind, Time};
 
 use crate::cores::Cores;
 use crate::netdev::{DriverModel, Netdev, NetdevId};
@@ -58,6 +56,15 @@ pub struct HostConfig {
     /// of the queue's CPU node ("a response ring is allocated locally to the
     /// device and remotely to the CPU").
     pub rings_device_local: bool,
+    /// Driver watchdog: completions visible in host memory at least this
+    /// long without being reaped mean an interrupt was lost; the queue is
+    /// polled directly. Must comfortably exceed the NIC's `irq_delay`.
+    pub watchdog_timeout: Dur,
+    /// Maximum doorbell re-rings per stuck Tx queue before the watchdog
+    /// gives up (descriptors then sit until the application tears down).
+    pub tx_retry_limit: u32,
+    /// Base backoff between doorbell retries; doubled per attempt.
+    pub tx_retry_backoff: Dur,
 }
 
 impl Default for HostConfig {
@@ -72,8 +79,34 @@ impl Default for HostConfig {
             sndbuf_bytes: 4 << 20,
             user_buf_bytes: 1 << 20,
             rings_device_local: false,
+            watchdog_timeout: Dur::from_us(100),
+            tx_retry_limit: 5,
+            tx_retry_backoff: Dur::from_us(20),
         }
     }
+}
+
+/// Robustness counters: what the driver absorbed and recovered from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostRobustness {
+    /// Tx completions reaped with error status (PF failed / link down).
+    pub tx_error_completions: u64,
+    /// Queues the watchdog polled because completions sat unreaped past
+    /// the timeout (lost interrupts).
+    pub watchdog_irq_recoveries: u64,
+    /// Doorbell MMIO writes dropped by a dead link.
+    pub doorbells_lost: u64,
+    /// Doorbell re-rings issued by the watchdog.
+    pub doorbell_retries: u64,
+    /// Fault events applied via [`Host::apply_fault`].
+    pub faults_applied: u64,
+}
+
+/// Per-queue doorbell-retry state (bounded exponential backoff).
+#[derive(Debug, Clone, Copy, Default)]
+struct RetryState {
+    retries: u32,
+    next_at: Time,
 }
 
 /// Events the host hands back to the experiment loop.
@@ -162,6 +195,8 @@ pub struct Host {
     /// queue drains: old queue → (socket, desired queue).
     pending_steer: HashMap<QueueId, Vec<(SockId, QueueId)>>,
     rx_no_socket_drops: u64,
+    tx_retry: Vec<RetryState>,
+    robust: HostRobustness,
 }
 
 impl Host {
@@ -185,8 +220,13 @@ impl Host {
         let mut queue_irq_core = Vec::new();
         let mut rx_pools = Vec::new();
 
-        let pf_nodes: std::collections::HashMap<PfId, NodeId> =
-            pfs.iter().map(|&pf| (pf, fabric.node_of(pf))).collect();
+        let pf_nodes: std::collections::HashMap<PfId, NodeId> = pfs
+            .iter()
+            .map(|&pf| {
+                let node = fabric.node_of(pf).expect("PF attached to the fabric");
+                (pf, node)
+            })
+            .collect();
         let fabric_node_of = |pf: PfId| pf_nodes[&pf];
         let make_queue = |nic: &mut Nic,
                           mem: &mut MemSystem,
@@ -319,6 +359,8 @@ impl Host {
             tx_pending: (0..n_queues).map(|_| VecDeque::new()).collect(),
             pending_steer: HashMap::new(),
             rx_no_socket_drops: 0,
+            tx_retry: vec![RetryState::default(); n_queues],
+            robust: HostRobustness::default(),
         }
     }
 
@@ -496,20 +538,7 @@ impl Host {
         }
         // Doorbell (posted MMIO).
         t = self.cores.run(core, t, costs.doorbell);
-        let mmio = self
-            .fabric
-            .mmio_write(t, node, self.queue_pf[q.0], &self.mem);
-        let tx = self
-            .nic
-            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
-        let mut outs: Vec<HostOut> = tx
-            .packets
-            .iter()
-            .map(|&(at, flow, b)| HostOut::PacketToPeer { at, flow, bytes: b })
-            .collect();
-        if let Some((at, _core)) = tx.irq {
-            outs.push(HostOut::Irq { at, queue: q });
-        }
+        let outs = self.ring_doorbell(t, now, node, q);
         SendOutcome::Sent { done_at: t, outs }
     }
 
@@ -538,7 +567,6 @@ impl Host {
             return SendOutcome::WouldBlock;
         }
         let q = self.choose_tx_queue(sock, core, netdev);
-        let qpf = self.queue_pf[q.0];
         // Chunk page runs into TSO-sized descriptors.
         let mut descs: Vec<Vec<TxFragment>> = Vec::new();
         let mut cur: Vec<TxFragment> = Vec::new();
@@ -598,7 +626,22 @@ impl Host {
             s.tx_bytes += total;
         }
         t = self.cores.run(core, t, costs.doorbell);
-        let mmio = self.fabric.mmio_write(t, node, qpf, &self.mem);
+        let outs = self.ring_doorbell(t, now, node, q);
+        SendOutcome::Sent { done_at: t, outs }
+    }
+
+    /// Rings `q`'s doorbell at `t` (posted MMIO) and converts the NIC's
+    /// transmit outcome into host events. A `None` MMIO cost means the link
+    /// under the PF is down: the write vanishes, the posted descriptors stay
+    /// in the ring, and [`Host::watchdog`] re-rings once the link returns.
+    fn ring_doorbell(&mut self, t: Time, now: Time, node: NodeId, q: QueueId) -> Vec<HostOut> {
+        let Some(mmio) = self
+            .fabric
+            .mmio_write(t, node, self.queue_pf[q.0], &self.mem)
+        else {
+            self.robust.doorbells_lost += 1;
+            return Vec::new();
+        };
         let tx = self
             .nic
             .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
@@ -610,7 +653,7 @@ impl Host {
         if let Some((at, _core)) = tx.irq {
             outs.push(HostOut::Irq { at, queue: q });
         }
-        SendOutcome::Sent { done_at: t, outs }
+        outs
     }
 
     /// The first NIC PF attached to `node`, if any.
@@ -618,7 +661,7 @@ impl Host {
         self.queue_pf
             .iter()
             .copied()
-            .find(|pf| self.fabric.node_of(*pf) == node)
+            .find(|pf| self.fabric.node_of(*pf) == Some(node))
     }
 
     /// Application `recv(2)`: copies buffered segments into the user buffer,
@@ -698,7 +741,10 @@ impl Host {
                 }
                 outs
             }
-            RxOutcome::DroppedNoBuffer { .. } => Vec::new(),
+            RxOutcome::DroppedNoBuffer { .. }
+            | RxOutcome::DroppedPfDead { .. }
+            | RxOutcome::DroppedLinkDown { .. }
+            | RxOutcome::DroppedNoQueue { .. } => Vec::new(),
         }
     }
 
@@ -794,6 +840,13 @@ impl Host {
                 AccessKind::Pointer,
             );
             t = self.cores.run(core, t, cq_read + costs.per_tx_completion);
+            if comp.error {
+                // The NIC aborted this descriptor (its PF failed or the link
+                // dropped): the payload never reached the wire. Resources are
+                // still freed and the sender woken so it can retry on a live
+                // queue — only the byte accounting treats it as untransmitted.
+                self.robust.tx_error_completions += 1;
+            }
             if let Some((kbuf, sid, bytes)) = self.tx_pending[queue.0].pop_front() {
                 debug_assert_eq!(bytes, comp.bytes);
                 if let Some(kbuf) = kbuf {
@@ -874,21 +927,29 @@ impl Host {
             t = self.cores.run(core, t, costs.pktgen_loop + dw);
         }
         t = self.cores.run(core, t, costs.doorbell);
-        let mmio = self
-            .fabric
-            .mmio_write(t, node, self.queue_pf[q.0], &self.mem);
-        let tx = self
-            .nic
-            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
-        let outs: Vec<HostOut> = tx
-            .packets
-            .iter()
-            .map(|&(at, f, b)| HostOut::PacketToPeer {
-                at,
-                flow: f,
-                bytes: b,
-            })
-            .collect();
+        let outs: Vec<HostOut> =
+            match self
+                .fabric
+                .mmio_write(t, node, self.queue_pf[q.0], &self.mem)
+            {
+                Some(mmio) => {
+                    let tx =
+                        self.nic
+                            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
+                    tx.packets
+                        .iter()
+                        .map(|&(at, f, b)| HostOut::PacketToPeer {
+                            at,
+                            flow: f,
+                            bytes: b,
+                        })
+                        .collect()
+                }
+                None => {
+                    self.robust.doorbells_lost += 1;
+                    Vec::new()
+                }
+            };
         // Polling-mode reaping: read each completion entry that has already
         // landed. This is the access whose locality the paper pinpoints —
         // "reading this entry from memory costs about 80 ns, which is
@@ -921,6 +982,101 @@ impl Host {
     /// octoNIC).
     pub fn ooo_count(&self, sock: SockId) -> u64 {
         self.sockets.get(sock).ooo_count
+    }
+
+    /// Robustness counters: what the driver absorbed and recovered from.
+    pub fn robustness(&self) -> HostRobustness {
+        self.robust
+    }
+
+    /// Driver watchdog, invoked periodically by the experiment loop — the
+    /// simulation analogue of `ndo_tx_timeout` plus NAPI's deferred re-poll.
+    /// Two hazards are detected:
+    ///
+    /// * completions that became visible in host memory more than
+    ///   `watchdog_timeout` ago and were never reaped — their MSI-X was
+    ///   lost; the queue is polled immediately;
+    /// * Tx descriptors whose doorbell MMIO vanished into a dead link (the
+    ///   ring holds descriptors but no completion is in flight): the
+    ///   doorbell is re-rung with bounded exponential backoff.
+    pub fn watchdog(&mut self, now: Time) -> Vec<HostOut> {
+        let timeout = self.cfg.watchdog_timeout;
+        let stale = |l: Option<Time>| matches!(l, Some(l) if l + timeout <= now);
+        let mut outs = Vec::new();
+        for qi in 0..self.queue_pf.len() {
+            let q = QueueId(qi);
+            if stale(self.nic.rx_landing(q)) || stale(self.nic.tx_landing(q)) {
+                self.robust.watchdog_irq_recoveries += 1;
+                outs.push(HostOut::Irq { at: now, queue: q });
+                continue;
+            }
+            let stuck = self.nic.tx_backlog(q) > 0
+                && self.nic.tx_landing(q).is_none()
+                && self.nic.pf_alive(self.queue_pf[qi]);
+            if !stuck {
+                self.tx_retry[qi] = RetryState::default();
+                continue;
+            }
+            let st = self.tx_retry[qi];
+            if st.retries >= self.cfg.tx_retry_limit || now < st.next_at {
+                continue;
+            }
+            self.tx_retry[qi] = RetryState {
+                retries: st.retries + 1,
+                next_at: now + self.cfg.tx_retry_backoff * (1u64 << st.retries.min(10)),
+            };
+            self.robust.doorbell_retries += 1;
+            let node = self.queue_node[qi];
+            outs.extend(self.ring_doorbell(now, now, node, q));
+        }
+        outs
+    }
+
+    /// Applies one fault-plan event to this host's I/O complex. Link faults
+    /// go to the PCIe fabric; PF faults go to the NIC, with the driver-side
+    /// recovery work (steering reinstall, doorbell retry budgets) done here.
+    pub fn apply_fault(&mut self, now: Time, pf: PfId, kind: FaultKind) {
+        self.robust.faults_applied += 1;
+        match kind {
+            FaultKind::LinkDown | FaultKind::LinkDegrade { .. } => {
+                self.fabric.apply_link_fault(now, pf, kind);
+            }
+            FaultKind::LinkRecover => {
+                self.fabric.apply_link_fault(now, pf, kind);
+                // Doorbells stuck behind the dead link get a fresh retry
+                // budget now that MMIO reaches the device again.
+                for st in &mut self.tx_retry {
+                    *st = RetryState::default();
+                }
+            }
+            FaultKind::PfFail => {
+                self.nic.fail_pf(now, pf);
+            }
+            FaultKind::PfRecover => {
+                self.nic.recover_pf(pf);
+                for st in &mut self.tx_retry {
+                    *st = RetryState::default();
+                }
+                self.reinstall_steering(now);
+            }
+            FaultKind::IrqLoss => self.nic.inject_irq_loss(pf),
+        }
+    }
+
+    /// After a PF returns, re-install every socket's steering at its owner's
+    /// current queue, pulling flows back off the failover survivor onto
+    /// their home PFs (the driver half of recovery; the firmware half is the
+    /// MPFS default-PF restore inside [`Nic::recover_pf`]).
+    fn reinstall_steering(&mut self, now: Time) {
+        let socks: Vec<SockId> = self.sockets.ids().collect();
+        for s in socks {
+            let (core, nd) = {
+                let sk = self.sockets.get(s);
+                (self.sched.core_of(sk.owner), sk.netdev)
+            };
+            let q = self.netdevs[nd.0].queue_for_core(core);
+            self.install_steering(now, s, q);
+        }
     }
 
     /// The reservation clock for memory accesses inside a handler: tracks
@@ -958,11 +1114,29 @@ impl Host {
     /// queue until it has no outstanding packets (§4.2 "Transmit",
     /// `ooo_okay`).
     fn choose_tx_queue(&mut self, sock: SockId, core: usize, nd: NetdevId) -> QueueId {
-        let desired = self.netdevs[nd.0].queue_for_core(core);
+        let mut desired = self.netdevs[nd.0].queue_for_core(core);
+        if !self.nic.pf_alive(self.queue_pf[desired.0]) {
+            // Tx failover: the home queue's PF is dead — pick the first live
+            // queue on this netdev instead (first match keeps the choice
+            // deterministic). The standard driver usually has none, since a
+            // netdev's queues all ride one PF; `desired` then stays put and
+            // the doorbell path errors the descriptors out.
+            if let Some(&alt) = self.netdevs[nd.0]
+                .queue_by_core
+                .iter()
+                .find(|qq| self.nic.pf_alive(self.queue_pf[qq.0]))
+            {
+                desired = alt;
+            }
+        }
         let last = self.sockets.get(sock).last_tx_queue;
         let q = match last {
             Some(old) if old != desired => {
-                if self.nic.tx_backlog(old) > 0 || !self.tx_pending[old.0].is_empty() {
+                // The out-of-order guard never sticks to a dead PF's queue:
+                // its backlog can only drain as error completions.
+                if self.nic.pf_alive(self.queue_pf[old.0])
+                    && (self.nic.tx_backlog(old) > 0 || !self.tx_pending[old.0].is_empty())
+                {
                     old
                 } else {
                     desired
@@ -1271,6 +1445,129 @@ mod tests {
         );
         assert_eq!(host.nic.rx_dropped(), 0, "recycling keeps rings stocked");
         assert_eq!(host.ooo_count(sock), 0);
+    }
+
+    #[test]
+    fn pf_fail_over_and_recovery_move_steering() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(3000);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mac = host.netdev_mac(NetdevId(0));
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0]);
+
+        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::PfFail);
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1], "failed over");
+        // Traffic keeps flowing through the survivor.
+        let outs = host.wire_arrival(Time::from_ms(2), flow, 1448, 0);
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                _ => None,
+            })
+            .expect("delivered via surviving PF");
+        assert_eq!(host.queue_pf[q.0], pfs[1]);
+        host.irq(at, q);
+        match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
+            RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+            o => panic!("{o:?}"),
+        }
+
+        host.apply_fault(Time::from_ms(3), pfs[0], FaultKind::PfRecover);
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0], "pulled home");
+        assert_eq!(host.robustness().faults_applied, 2);
+    }
+
+    #[test]
+    fn lost_irq_recovered_by_watchdog() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(3001);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::IrqLoss);
+        let outs = host.wire_arrival(Time::from_us(5), flow, 1448, 0);
+        assert!(
+            !outs.iter().any(|o| matches!(o, HostOut::Irq { .. })),
+            "the MSI-X was swallowed"
+        );
+        // Nothing delivered yet; the watchdog notices the stale landing.
+        let wd_at = Time::from_us(5) + host.config().watchdog_timeout + Dur::from_us(50);
+        let outs = host.watchdog(wd_at);
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                _ => None,
+            })
+            .expect("watchdog polls the silent queue");
+        host.irq(at, q);
+        match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
+            RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(host.robustness().watchdog_irq_recoveries, 1);
+    }
+
+    #[test]
+    fn lost_doorbell_re_rung_after_link_recovers() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(3002);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::LinkDown);
+        let outs = match host.send(Time::from_us(2), sock, 2000) {
+            SendOutcome::Sent { outs, .. } => outs,
+            o => panic!("{o:?}"),
+        };
+        assert!(outs.is_empty(), "doorbell vanished into the dead link");
+        assert_eq!(host.robustness().doorbells_lost, 1);
+        // While the link is down the watchdog's retry also fails…
+        let outs = host.watchdog(Time::from_us(100));
+        assert!(outs.is_empty());
+        assert_eq!(host.robustness().doorbells_lost, 2);
+        // …but after retraining, the re-rung doorbell transmits.
+        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
+        let outs = host.watchdog(Time::from_ms(2));
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, HostOut::PacketToPeer { .. })),
+            "descriptors finally reach the wire"
+        );
+        assert!(host.robustness().doorbell_retries >= 2);
+    }
+
+    #[test]
+    fn dead_pf_tx_errors_out_and_releases_sender() {
+        // Standard driver on a dead PF has nowhere to fail over to: the
+        // descriptors come back as error completions and the socket's
+        // in-flight accounting drains instead of wedging.
+        let (mut host, pfs) = build(DriverModel::Standard);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(3003);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::PfFail);
+        match host.send(Time::from_us(2), sock, 2000) {
+            SendOutcome::Sent { outs, .. } => {
+                assert!(
+                    !outs
+                        .iter()
+                        .any(|o| matches!(o, HostOut::PacketToPeer { .. })),
+                    "nothing reaches the wire through a dead PF"
+                );
+            }
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(host.socket(sock).tx_inflight, 2000);
+        // The error completions land immediately; the watchdog polls them.
+        let wd_at = Time::from_us(2) + host.config().watchdog_timeout + Dur::from_us(50);
+        for o in host.watchdog(wd_at) {
+            if let HostOut::Irq { at, queue } = o {
+                host.irq(at, queue);
+            }
+        }
+        assert_eq!(host.socket(sock).tx_inflight, 0, "sender released");
+        assert!(host.robustness().tx_error_completions >= 1);
     }
 
     #[test]

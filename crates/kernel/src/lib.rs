@@ -35,7 +35,7 @@ pub mod sched;
 pub mod socket;
 
 pub use cores::Cores;
-pub use host::{Host, HostConfig, HostOut, RecvOutcome, SendOutcome};
+pub use host::{Host, HostConfig, HostOut, HostRobustness, RecvOutcome, SendOutcome};
 pub use netdev::{DriverModel, NetdevId};
 pub use params::CpuCosts;
 pub use sched::ThreadId;

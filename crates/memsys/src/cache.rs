@@ -252,7 +252,7 @@ impl Llc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::SimRng;
 
     fn tiny() -> Llc {
         // 4 sets x 4 ways x 64 B = 1 KiB, 2 DDIO ways.
@@ -393,11 +393,15 @@ mod tests {
         });
     }
 
-    proptest! {
-        #[test]
-        fn prop_occupancy_never_exceeds_ways(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+    #[test]
+    fn prop_occupancy_never_exceeds_ways() {
+        let mut r = SimRng::seed(0xcac4e);
+        for _ in 0..16 {
+            let ops = 1 + r.below(299) as usize;
             let mut c = tiny();
-            for (line, ddio) in ops {
+            for _ in 0..ops {
+                let line = r.below(64);
+                let ddio = r.chance(0.5);
                 c.insert(PhysAddr(line * LINE_BYTES), LineState::Shared, ddio);
             }
             // No set may exceed associativity; checked via total residency per set.
@@ -406,12 +410,17 @@ mod tests {
                     .filter(|l| l % 4 == set)
                     .filter(|l| c.peek(PhysAddr(l * LINE_BYTES)).is_some())
                     .count();
-                prop_assert!(count <= 4, "set {} holds {}", set, count);
+                assert!(count <= 4, "set {} holds {}", set, count);
             }
         }
+    }
 
-        #[test]
-        fn prop_probe_after_insert_hits(lines in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+    #[test]
+    fn prop_probe_after_insert_hits() {
+        let mut r = SimRng::seed(0xcac4f);
+        for _ in 0..8 {
+            let n = 1 + r.below(49) as usize;
+            let lines: Vec<u64> = (0..n).map(|_| r.below(1_000_000)).collect();
             let mut c = Llc::new(LlcConfig::broadwell_14c());
             for &l in &lines {
                 c.insert(PhysAddr(l * LINE_BYTES), LineState::Shared, false);
@@ -419,7 +428,7 @@ mod tests {
             // With a 28k-set cache and <50 distinct lines, nothing can have
             // been evicted: every line must still be resident.
             for &l in &lines {
-                prop_assert!(c.peek(PhysAddr(l * LINE_BYTES)).is_some());
+                assert!(c.peek(PhysAddr(l * LINE_BYTES)).is_some());
             }
         }
     }

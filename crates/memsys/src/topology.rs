@@ -125,7 +125,7 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::SimRng;
 
     #[test]
     fn address_home_striping() {
@@ -175,22 +175,30 @@ mod tests {
         Topology::new(0, 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_lines_spanned_matches_naive(addr in 0u64..10_000, len in 0u64..10_000) {
+    #[test]
+    fn prop_lines_spanned_matches_naive() {
+        let mut r = SimRng::seed(0x7090);
+        for _ in 0..256 {
+            let addr = r.below(10_000);
+            let len = r.below(10_000);
             let a = PhysAddr(addr);
             let naive = if len == 0 {
                 0
             } else {
                 ((addr + len - 1) / LINE_BYTES) - (addr / LINE_BYTES) + 1
             };
-            prop_assert_eq!(a.lines_spanned(len), naive);
+            assert_eq!(a.lines_spanned(len), naive);
         }
+    }
 
-        #[test]
-        fn prop_offset_preserves_home(node in 0usize..4, off in 0u64..(1 << 30)) {
+    #[test]
+    fn prop_offset_preserves_home() {
+        let mut r = SimRng::seed(0x7091);
+        for _ in 0..256 {
+            let node = r.below(4) as usize;
+            let off = r.below(1 << 30);
             let base = PhysAddr((node as u64) << NODE_SHIFT);
-            prop_assert_eq!(base.offset(off).home(), NodeId(node));
+            assert_eq!(base.offset(off).home(), NodeId(node));
         }
     }
 }

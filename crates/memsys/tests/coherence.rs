@@ -4,8 +4,7 @@
 
 use memsys::cache::LineState;
 use memsys::{AccessKind, MemConfig, MemSystem, NodeId, PhysAddr};
-use proptest::prelude::*;
-use simcore::Time;
+use simcore::{SimRng, Time};
 
 /// The agents a random schedule can exercise.
 #[derive(Debug, Clone, Copy)]
@@ -16,13 +15,15 @@ enum Op {
     DmaWrite { dev: usize, line: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    (0usize..2, 0u64..64, 0usize..4).prop_map(|(node, line, kind)| match kind {
+fn random_op(r: &mut SimRng) -> Op {
+    let node = r.below(2) as usize;
+    let line = r.below(64);
+    match r.below(4) {
         0 => Op::CpuRead { node, line },
         1 => Op::CpuWrite { node, line },
         2 => Op::DmaRead { dev: node, line },
         _ => Op::DmaWrite { dev: node, line },
-    })
+    }
 }
 
 fn apply(mem: &mut MemSystem, base: PhysAddr, t: Time, op: Op) {
@@ -48,13 +49,14 @@ fn apply(mem: &mut MemSystem, base: PhysAddr, t: Time, op: Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Single-writer invariant: after any schedule, no line is Modified in
-    /// more than one socket's LLC.
-    #[test]
-    fn prop_single_modified_owner(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// Single-writer invariant: after any schedule, no line is Modified in
+/// more than one socket's LLC.
+#[test]
+fn prop_single_modified_owner() {
+    let mut r = SimRng::seed(0xc0e1);
+    for _ in 0..64 {
+        let n_ops = 1 + r.below(199) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut r)).collect();
         let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
         let base = mem.alloc(NodeId(0), 64 * 64);
         for (i, op) in ops.iter().enumerate() {
@@ -63,49 +65,82 @@ proptest! {
         for line in 0..64u64 {
             let a = base.offset(line * 64);
             let modified_owners = (0..2)
-                .filter(|n| {
-                    mem.peek_line(NodeId(*n), a) == Some(LineState::Modified)
-                })
+                .filter(|n| mem.peek_line(NodeId(*n), a) == Some(LineState::Modified))
                 .count();
-            prop_assert!(modified_owners <= 1, "line {line} dirty in {modified_owners} LLCs");
+            assert!(
+                modified_owners <= 1,
+                "line {line} dirty in {modified_owners} LLCs"
+            );
         }
     }
+}
 
-    /// Accounting conservation: interconnect traffic only appears when an
-    /// access actually crossed sockets.
-    #[test]
-    fn prop_local_only_schedules_never_cross(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..100)) {
+/// Accounting conservation: interconnect traffic only appears when an
+/// access actually crossed sockets.
+#[test]
+fn prop_local_only_schedules_never_cross() {
+    let mut r = SimRng::seed(0xc0e2);
+    for _ in 0..64 {
+        let n_ops = 1 + r.below(99) as usize;
         let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
         let base = mem.alloc(NodeId(0), 64 * 64);
         mem.reset_counters();
-        for (i, (line, write)) in ops.iter().enumerate() {
+        for i in 0..n_ops {
+            let line = r.below(64);
+            let write = r.chance(0.5);
             let a = base.offset(line * 64);
-            if *write {
-                mem.cpu_write(Time::from_us(i as u64), NodeId(0), a, 64, AccessKind::Pointer);
+            if write {
+                mem.cpu_write(
+                    Time::from_us(i as u64),
+                    NodeId(0),
+                    a,
+                    64,
+                    AccessKind::Pointer,
+                );
             } else {
-                mem.cpu_read(Time::from_us(i as u64), NodeId(0), a, 64, AccessKind::Pointer);
+                mem.cpu_read(
+                    Time::from_us(i as u64),
+                    NodeId(0),
+                    a,
+                    64,
+                    AccessKind::Pointer,
+                );
             }
         }
-        prop_assert_eq!(mem.counters().interconnect_bytes, 0);
-        prop_assert_eq!(mem.counters().dram_read_bytes(NodeId(1)), 0);
+        assert_eq!(mem.counters().interconnect_bytes, 0);
+        assert_eq!(mem.counters().dram_read_bytes(NodeId(1)), 0);
     }
+}
 
-    /// A CPU read after any DMA write must stall at least as long as an
-    /// LLC hit — never returns negative/zero-cost garbage — and monotone
-    /// stalls: remote writes make the subsequent read at least as slow as
-    /// after a local (DDIO) write.
-    #[test]
-    fn prop_remote_write_never_cheaper_to_read_back(line in 0u64..64) {
+/// A CPU read after any DMA write must stall at least as long as an
+/// LLC hit — never returns negative/zero-cost garbage — and monotone
+/// stalls: remote writes make the subsequent read at least as slow as
+/// after a local (DDIO) write.
+#[test]
+fn prop_remote_write_never_cheaper_to_read_back() {
+    for line in 0..64u64 {
         let mut local = MemSystem::new(MemConfig::dual_socket_broadwell());
         let b1 = local.alloc(NodeId(0), 64 * 64);
         local.dma_write(Time::ZERO, NodeId(0), b1.offset(line * 64), 64);
-        let s_local = local.cpu_read(Time::ZERO, NodeId(0), b1.offset(line * 64), 64, AccessKind::Pointer);
+        let s_local = local.cpu_read(
+            Time::ZERO,
+            NodeId(0),
+            b1.offset(line * 64),
+            64,
+            AccessKind::Pointer,
+        );
 
         let mut remote = MemSystem::new(MemConfig::dual_socket_broadwell());
         let b2 = remote.alloc(NodeId(0), 64 * 64);
         remote.dma_write(Time::ZERO, NodeId(1), b2.offset(line * 64), 64);
-        let s_remote = remote.cpu_read(Time::ZERO, NodeId(0), b2.offset(line * 64), 64, AccessKind::Pointer);
+        let s_remote = remote.cpu_read(
+            Time::ZERO,
+            NodeId(0),
+            b2.offset(line * 64),
+            64,
+            AccessKind::Pointer,
+        );
 
-        prop_assert!(s_remote >= s_local, "remote {s_remote} vs local {s_local}");
+        assert!(s_remote >= s_local, "remote {s_remote} vs local {s_local}");
     }
 }

@@ -2,62 +2,80 @@
 //! model are never double-counted or lost across the counters.
 
 use memsys::{AccessKind, MemConfig, MemSystem, NodeId};
-use proptest::prelude::*;
-use simcore::Time;
+use simcore::{SimRng, Time};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Repeated CPU reads of the same cached data generate DRAM traffic at
-    /// most once (the fill); the LLC absorbs the rest.
-    #[test]
-    fn prop_rereads_are_free(len in 64u64..16384, reps in 2usize..10) {
+/// Repeated CPU reads of the same cached data generate DRAM traffic at
+/// most once (the fill); the LLC absorbs the rest.
+#[test]
+fn prop_rereads_are_free() {
+    let mut r = SimRng::seed(0x7fa1);
+    for _ in 0..64 {
+        let len = 64 + r.below(16384 - 64);
+        let reps = 2 + r.below(8) as usize;
         let mut m = MemSystem::new(MemConfig::dual_socket_broadwell());
         let buf = m.alloc(NodeId(0), 32768);
         m.cpu_read(Time::ZERO, NodeId(0), buf, len, AccessKind::Stream);
         let after_fill = m.counters().total_dram_bytes();
         for i in 0..reps {
-            m.cpu_read(Time::from_us(i as u64 + 1), NodeId(0), buf, len, AccessKind::Stream);
+            m.cpu_read(
+                Time::from_us(i as u64 + 1),
+                NodeId(0),
+                buf,
+                len,
+                AccessKind::Stream,
+            );
         }
-        prop_assert_eq!(m.counters().total_dram_bytes(), after_fill);
+        assert_eq!(m.counters().total_dram_bytes(), after_fill);
     }
+}
 
-    /// Interconnect bytes for a remote DMA write are within one TLP-roundup
-    /// of the payload: nothing is silently amplified.
-    #[test]
-    fn prop_remote_write_interconnect_bounded(len in 1u64..9000) {
+/// Interconnect bytes for a remote DMA write are within one TLP-roundup
+/// of the payload: nothing is silently amplified.
+#[test]
+fn prop_remote_write_interconnect_bounded() {
+    let mut r = SimRng::seed(0x7fa2);
+    for _ in 0..64 {
+        let len = 1 + r.below(8999);
         let mut m = MemSystem::new(MemConfig::dual_socket_broadwell());
         let buf = m.alloc(NodeId(0), 16384);
         m.reset_counters();
         m.dma_write(Time::ZERO, NodeId(1), buf, len);
         let ic = m.counters().interconnect_bytes;
-        prop_assert!(ic >= len);
-        prop_assert!(ic <= len + 128, "ic={ic} len={len}");
+        assert!(ic >= len);
+        assert!(ic <= len + 128, "ic={ic} len={len}");
     }
+}
 
-    /// DDIO on/off flips exactly the DRAM-write behaviour of local device
-    /// writes and nothing else about the accounting.
-    #[test]
-    fn prop_ddio_toggle(len in 64u64..4096) {
+/// DDIO on/off flips exactly the DRAM-write behaviour of local device
+/// writes and nothing else about the accounting.
+#[test]
+fn prop_ddio_toggle() {
+    let mut r = SimRng::seed(0x7fa3);
+    for _ in 0..64 {
+        let len = 64 + r.below(4096 - 64);
         let mut on = MemSystem::new(MemConfig::dual_socket_broadwell());
         let b1 = on.alloc(NodeId(0), 8192);
         on.dma_write(Time::ZERO, NodeId(0), b1, len);
-        prop_assert_eq!(on.counters().dram_write_bytes(NodeId(0)), 0);
+        assert_eq!(on.counters().dram_write_bytes(NodeId(0)), 0);
 
         let mut off = MemSystem::new(MemConfig::dual_socket_broadwell());
         off.set_ddio(false);
         let b2 = off.alloc(NodeId(0), 8192);
         off.dma_write(Time::ZERO, NodeId(0), b2, len);
-        prop_assert!(off.counters().dram_write_bytes(NodeId(0)) >= len);
+        assert!(off.counters().dram_write_bytes(NodeId(0)) >= len);
         // Neither case crosses the interconnect: the device is local.
-        prop_assert_eq!(on.counters().interconnect_bytes, 0);
-        prop_assert_eq!(off.counters().interconnect_bytes, 0);
+        assert_eq!(on.counters().interconnect_bytes, 0);
+        assert_eq!(off.counters().interconnect_bytes, 0);
     }
+}
 
-    /// Stalls are monotone in queue pressure: an access issued after a big
-    /// bandwidth reservation takes at least as long as one issued cold.
-    #[test]
-    fn prop_stall_monotone_under_pressure(len in 64u64..4096) {
+/// Stalls are monotone in queue pressure: an access issued after a big
+/// bandwidth reservation takes at least as long as one issued cold.
+#[test]
+fn prop_stall_monotone_under_pressure() {
+    let mut r = SimRng::seed(0x7fa4);
+    for _ in 0..64 {
+        let len = 64 + r.below(4096 - 64);
         let mut quiet = MemSystem::new(MemConfig::dual_socket_broadwell());
         let b1 = quiet.alloc(NodeId(1), 8192);
         let s_quiet = quiet.cpu_read(Time::ZERO, NodeId(0), b1, len, AccessKind::Pointer);
@@ -67,6 +85,6 @@ proptest! {
         // 1 ms of cross-socket pressure in the same direction first.
         busy.cpu_stream_through(Time::ZERO, NodeId(0), NodeId(1), 28_800_000, false);
         let s_busy = busy.cpu_read(Time::ZERO, NodeId(0), b2, len, AccessKind::Pointer);
-        prop_assert!(s_busy >= s_quiet, "busy {s_busy} vs quiet {s_quiet}");
+        assert!(s_busy >= s_quiet, "busy {s_busy} vs quiet {s_quiet}");
     }
 }

@@ -97,6 +97,11 @@ pub struct Completion {
     /// observe it earlier — NAPI paces itself with these landings, which is
     /// how congested DMA paths slow the consumer.
     pub landed_at: simcore::Time,
+    /// Error status: the descriptor was aborted rather than serviced (its
+    /// PF failed or the PCIe link under it dropped). The driver counts
+    /// these and retries or tears down, but must not treat the payload as
+    /// transferred.
+    pub error: bool,
 }
 
 #[cfg(test)]

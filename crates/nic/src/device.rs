@@ -7,6 +7,8 @@
 //! paper (§4.1: "By loading our IOctopus firmware, we can turn the server's
 //! NIC into an octoNIC").
 
+use std::cell::Cell;
+
 use memsys::{MemSystem, NodeId, PhysAddr};
 use pcie::{PcieFabric, PfId};
 use simcore::{Dur, Time};
@@ -113,6 +115,24 @@ pub enum RxOutcome {
         /// Queue whose ring was empty.
         queue: QueueId,
     },
+    /// The steered PF is dead and no surviving PF could take the packet
+    /// (standard firmware has no cross-PF path; or every PF is down).
+    DroppedPfDead {
+        /// The dead PF the packet was steered to.
+        pf: PfId,
+    },
+    /// The PCIe link under the delivery PF dropped mid-transfer.
+    DroppedLinkDown {
+        /// Queue the packet was headed for.
+        queue: QueueId,
+        /// The PF whose link is down.
+        pf: PfId,
+    },
+    /// The steered PF has no attached queues to land the packet on.
+    DroppedNoQueue {
+        /// The queueless PF.
+        pf: PfId,
+    },
 }
 
 /// Result of processing a Tx doorbell.
@@ -124,6 +144,31 @@ pub struct TxOutcome {
     pub completions: Vec<Time>,
     /// MSI-X delivery, if one fired: `(time, target core)`.
     pub irq: Option<(Time, usize)>,
+    /// Descriptors that completed with error status instead of reaching
+    /// the wire (dead PF, dead link).
+    pub errors: u64,
+}
+
+/// Robustness counters: everything the device absorbed instead of
+/// panicking. Deterministic for a given run (same seed + same fault plan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicCounters {
+    /// Descriptors completed with error status (PF failed / link down).
+    pub error_completions: u64,
+    /// Flow rules migrated off failed PFs by firmware failover.
+    pub resteered_flows: u64,
+    /// Wire packets dropped because their PF was dead with no failover
+    /// path (plus packets steered to a PF with no queues).
+    pub dropped_pf_dead: u64,
+    /// Interrupts that should have fired but never reached the host
+    /// (injected IRQ loss, or the link dropped under the MSI-X write).
+    pub lost_irqs: u64,
+    /// Operations that referenced a queue the device does not have.
+    pub invalid_refs: u64,
+    /// PF failure events absorbed.
+    pub pf_fails: u64,
+    /// PF recovery events absorbed.
+    pub pf_recoveries: u64,
 }
 
 /// The NIC device.
@@ -138,6 +183,11 @@ pub struct Nic {
     rx_bytes_per_pf: Vec<u64>,
     tx_bytes_per_pf: Vec<u64>,
     rx_dropped: u64,
+    pf_alive: Vec<bool>,
+    irq_loss_pending: Vec<bool>,
+    home_default: PfId,
+    counters: NicCounters,
+    invalid_refs: Cell<u64>,
 }
 
 impl Nic {
@@ -156,6 +206,11 @@ impl Nic {
             rx_bytes_per_pf: vec![0; pf_count],
             tx_bytes_per_pf: vec![0; pf_count],
             rx_dropped: 0,
+            pf_alive: vec![true; pf_count],
+            irq_loss_pending: vec![false; pf_count],
+            home_default: default_pf,
+            counters: NicCounters::default(),
+            invalid_refs: Cell::new(0),
         }
     }
 
@@ -172,6 +227,134 @@ impl Nic {
     /// Read access to the switch.
     pub fn mpfs(&self) -> &Mpfs {
         &self.mpfs
+    }
+
+    /// Robustness counters accumulated since construction.
+    pub fn counters(&self) -> NicCounters {
+        NicCounters {
+            invalid_refs: self.invalid_refs.get(),
+            ..self.counters
+        }
+    }
+
+    /// Whether `pf` is currently operational.
+    pub fn pf_alive(&self, pf: PfId) -> bool {
+        self.pf_alive.get(pf.0).copied().unwrap_or(false)
+    }
+
+    /// Fails physical function `pf` (function-level death: its queues stop,
+    /// in-flight Tx descriptors complete with error status at `now`, and —
+    /// with octoNIC firmware — every flow rule steering to it migrates to
+    /// the lowest-indexed surviving PF, as does the default-PF fallback).
+    /// Standard firmware has no cross-PF path, so its flows go dark until
+    /// recovery. Returns the number of flow rules re-steered. Idempotent.
+    pub fn fail_pf(&mut self, now: Time, pf: PfId) -> usize {
+        if pf.0 >= self.pf_count {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+            return 0;
+        }
+        if !self.pf_alive[pf.0] {
+            return 0;
+        }
+        self.pf_alive[pf.0] = false;
+        self.counters.pf_fails += 1;
+        for i in 0..self.queues.len() {
+            if self.queues[i].cfg.pf == pf {
+                self.counters.error_completions +=
+                    Self::flush_queue_on_reset(&mut self.queues[i], now);
+            }
+        }
+        // ARFS rules on the dead PF are function state; the reset wipes
+        // them. The driver re-installs after recovery.
+        self.arfs[pf.0] = ArfsTable::new(Dur::from_ms(500));
+        let mut moved = 0;
+        if self.cfg.steering == SteeringMode::FlowBased {
+            if let Some(s) = self.failover_target() {
+                moved = self.mpfs.resteer(pf, s);
+                self.counters.resteered_flows += moved as u64;
+                if self.mpfs.default_pf() == pf {
+                    self.mpfs.set_default_pf(s);
+                }
+            }
+        }
+        moved
+    }
+
+    /// Brings `pf` back after a function-level reset. Steering state stays
+    /// where failover moved it — the driver decides what to migrate back
+    /// (via `install_flow`/`arfs_install`) — except the default-PF
+    /// fallback, which firmware restores to its configured home.
+    /// Idempotent.
+    pub fn recover_pf(&mut self, pf: PfId) {
+        if pf.0 >= self.pf_count {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+            return;
+        }
+        if self.pf_alive[pf.0] {
+            return;
+        }
+        self.pf_alive[pf.0] = true;
+        self.counters.pf_recoveries += 1;
+        if self.cfg.steering == SteeringMode::FlowBased && self.home_default == pf {
+            self.mpfs.set_default_pf(pf);
+        }
+    }
+
+    /// Arms a one-shot interrupt loss on `pf`: the next MSI-X that would
+    /// fire from one of its queues is silently swallowed (the completion
+    /// still lands in host memory — only the doorbell to the CPU is lost).
+    /// The driver's watchdog must notice the unserviced completions.
+    pub fn inject_irq_loss(&mut self, pf: PfId) {
+        if pf.0 >= self.pf_count {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+            return;
+        }
+        self.irq_loss_pending[pf.0] = true;
+    }
+
+    /// The lowest-indexed live PF, if any — where failover sends orphaned
+    /// flows.
+    fn failover_target(&self) -> Option<PfId> {
+        (0..self.pf_count).find(|&i| self.pf_alive[i]).map(PfId)
+    }
+
+    /// Consumes a pending one-shot IRQ loss on `pf`, counting it.
+    fn take_irq_loss(&mut self, pf: PfId) -> bool {
+        if self.irq_loss_pending[pf.0] {
+            self.irq_loss_pending[pf.0] = false;
+            self.counters.lost_irqs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Function-level reset of one queue: outstanding Tx work completes
+    /// with error status at `now` (no DMA — the CQEs are synthesized by
+    /// firmware on the control path). Posted Rx descriptors survive the
+    /// reset in this model: a real driver would free and repost identical
+    /// entries, and skipping that churn keeps the host's buffer pools
+    /// balanced without an extra repost handshake. Returns the error
+    /// completions generated.
+    fn flush_queue_on_reset(q: &mut Queue, now: Time) -> u64 {
+        let mut n = 0;
+        while let Some((_, desc)) = q.tx_ring.consume() {
+            if q.tx_cq.next_slot_addr().is_some() {
+                q.tx_cq
+                    .post(Completion {
+                        bytes: desc.len,
+                        seq: 0,
+                        flow: desc.flow,
+                        buffer: None,
+                        landed_at: now,
+                        error: true,
+                    })
+                    .expect("slot checked above");
+            }
+            n += 1;
+        }
+        q.irq_armed = true;
+        n
     }
 
     /// Registers a queue pair whose rings live at the given host addresses
@@ -208,9 +391,9 @@ impl Nic {
         self.queues.len()
     }
 
-    /// The static configuration of `q`.
-    pub fn queue_config(&self, q: QueueId) -> QueueConfig {
-        self.queue(q).cfg
+    /// The static configuration of `q`, if the queue exists.
+    pub fn queue_config(&self, q: QueueId) -> Option<QueueConfig> {
+        self.queue(q).map(|qq| qq.cfg)
     }
 
     /// Installs an ARFS rule on `pf`: packets of `flow` arriving at that PF
@@ -225,69 +408,72 @@ impl Nic {
     }
 
     /// The driver posts an Rx buffer to `q`'s ring. Returns the slot address
-    /// written (the driver charges its own `cpu_write`), or `None` if full.
+    /// written (the driver charges its own `cpu_write`), or `None` if the
+    /// ring is full or the queue does not exist.
     pub fn post_rx(&mut self, q: QueueId, desc: RxDesc) -> Option<PhysAddr> {
-        self.queue_mut(q).rx_ring.post(desc)
+        self.queue_mut(q)?.rx_ring.post(desc)
     }
 
     /// The driver posts a Tx descriptor. Returns the slot address, or
-    /// `None` if the ring is full.
+    /// `None` if the ring is full or the queue does not exist.
     pub fn post_tx(&mut self, q: QueueId, desc: TxDesc) -> Option<PhysAddr> {
         assert!(desc.is_consistent(), "malformed Tx descriptor");
-        self.queue_mut(q).tx_ring.post(desc)
+        self.queue_mut(q)?.tx_ring.post(desc)
     }
 
     /// Outstanding Tx descriptors on `q` (drained by doorbells).
     pub fn tx_backlog(&self, q: QueueId) -> usize {
-        self.queue(q).tx_ring.len()
+        self.queue(q).map_or(0, |qq| qq.tx_ring.len())
     }
 
     /// Posted Rx buffers available on `q`.
     pub fn rx_buffers_available(&self, q: QueueId) -> usize {
-        self.queue(q).rx_ring.len()
+        self.queue(q).map_or(0, |qq| qq.rx_ring.len())
     }
 
     /// The driver consumes one completion from `q`'s Rx CQ, if any.
     /// Returns the CQE address (for the driver's `cpu_read` charge) and the
     /// completion.
     pub fn pop_rx_completion(&mut self, q: QueueId) -> Option<(PhysAddr, Completion)> {
-        self.queue_mut(q).rx_cq.consume()
+        self.queue_mut(q)?.rx_cq.consume()
     }
 
     /// The driver consumes one Tx completion, if any.
     pub fn pop_tx_completion(&mut self, q: QueueId) -> Option<(PhysAddr, Completion)> {
-        self.queue_mut(q).tx_cq.consume()
+        self.queue_mut(q)?.tx_cq.consume()
     }
 
     /// When the oldest un-reaped Rx completion becomes visible in host
     /// memory, if any.
     pub fn rx_landing(&self, q: QueueId) -> Option<Time> {
-        self.queue(q).rx_cq.peek().map(|c| c.landed_at)
+        self.queue(q)?.rx_cq.peek().map(|c| c.landed_at)
     }
 
     /// When the oldest un-reaped Tx completion becomes visible, if any.
     pub fn tx_landing(&self, q: QueueId) -> Option<Time> {
-        self.queue(q).tx_cq.peek().map(|c| c.landed_at)
+        self.queue(q)?.tx_cq.peek().map(|c| c.landed_at)
     }
 
     /// Re-arms `q`'s interrupt (NAPI poll finished and found nothing).
     pub fn rearm_irq(&mut self, q: QueueId) {
-        self.queue_mut(q).irq_armed = true;
+        if let Some(qq) = self.queue_mut(q) {
+            qq.irq_armed = true;
+        }
     }
 
     /// Whether `q` currently has completions waiting in its Rx CQ.
     pub fn rx_cq_depth(&self, q: QueueId) -> usize {
-        self.queue(q).rx_cq.len()
+        self.queue(q).map_or(0, |qq| qq.rx_cq.len())
     }
 
     /// Whether `q`'s Tx CQ has unreaped completions.
     pub fn tx_cq_depth(&self, q: QueueId) -> usize {
-        self.queue(q).tx_cq.len()
+        self.queue(q).map_or(0, |qq| qq.tx_cq.len())
     }
 
     /// Whether `q`'s interrupt is currently armed (diagnostics).
     pub fn irq_armed(&self, q: QueueId) -> bool {
-        self.queue(q).irq_armed
+        self.queue(q).is_some_and(|qq| qq.irq_armed)
     }
 
     /// Processes a Tx doorbell: drains every posted descriptor on `q`,
@@ -308,33 +494,59 @@ impl Nic {
         mem: &mut MemSystem,
     ) -> TxOutcome {
         let mut out = TxOutcome::default();
-        let (pf, irq_core, node) = {
-            let qq = self.queue(q);
-            (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node)
+        let Some((pf, irq_core, node)) = self
+            .queue(q)
+            .map(|qq| (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node))
+        else {
+            return out;
         };
+        if !self.pf_alive[pf.0] {
+            // Doorbell rang on a dead function: everything posted completes
+            // with error status (the ring doorbell itself is a posted MMIO
+            // write — nothing tells the driver synchronously).
+            let qq = &mut self.queues[q.0];
+            let n = Self::flush_queue_on_reset(qq, doorbell_at);
+            self.counters.error_completions += n;
+            out.errors += n;
+            return out;
+        }
         // The engine is pipelined: it spends `processing_delay` of occupancy
         // per descriptor while the DMA latencies of consecutive packets
         // overlap (bandwidth is still serialized inside the PCIe links).
-        let mut engine = doorbell_at.max(self.queue(q).busy_until);
+        let mut engine = doorbell_at.max(self.queues[q.0].busy_until);
         let mut t = engine;
 
-        while let Some((slot_addr, desc)) = self.queue_mut(q).tx_ring.consume() {
+        while let Some((slot_addr, desc)) = self.queues[q.0].tx_ring.consume() {
             engine += self.cfg.processing_delay;
             // Fetch the work descriptor from host memory. Bandwidth is
             // reserved at the doorbell's event time: feeding chained
             // (future) completion times back into shared-link FIFOs would
             // let congested chains starve near-term traffic.
-            let d_desc = fabric.dma_read(reserve_at, pf, mem, slot_addr, DESC_BYTES);
-
-            // Read the payload. IOctoSG (§3.3): fragments may carry a PF
-            // hint so cross-node payloads are fetched through the local PF.
-            // FIFO on the link: slowest component bounds readiness.
-            let mut slowest = d_desc;
-            for frag in &desc.fragments {
-                let frag_pf = frag.pf_hint.unwrap_or(pf);
-                let d = fabric.dma_read(reserve_at, frag_pf, mem, frag.addr, frag.len);
-                slowest = slowest.max(d);
-            }
+            //
+            // Any DMA on the path returning `None` means the link under the
+            // PF is down: the descriptor completes with error status and
+            // the drain continues — later descriptors fail the same way.
+            let fetched = fabric
+                .dma_read(reserve_at, pf, mem, slot_addr, DESC_BYTES)
+                .and_then(|d_desc| {
+                    // Read the payload. IOctoSG (§3.3): fragments may carry
+                    // a PF hint so cross-node payloads are fetched through
+                    // the local PF. FIFO on the link: slowest component
+                    // bounds readiness.
+                    let mut slowest = d_desc;
+                    for frag in &desc.fragments {
+                        let frag_pf = frag.pf_hint.unwrap_or(pf);
+                        let d = fabric.dma_read(reserve_at, frag_pf, mem, frag.addr, frag.len)?;
+                        slowest = slowest.max(d);
+                    }
+                    Some(slowest)
+                });
+            let Some(slowest) = fetched else {
+                Self::post_error_completion(&mut self.queues[q.0], &desc, engine);
+                self.counters.error_completions += 1;
+                out.errors += 1;
+                continue;
+            };
             t = engine + slowest;
 
             // Segment onto the wire.
@@ -350,15 +562,26 @@ impl Nic {
             }
 
             // Completion entry.
-            let Some(cq_slot) = self.queue(q).tx_cq.next_slot_addr() else {
+            let Some(cq_slot) = self.queues[q.0].tx_cq.next_slot_addr() else {
                 // CQ full: completion coalesced onto the oldest outstanding
                 // entry (real hardware cannot overrun its CQ because the
                 // driver sizes it to the ring).
                 out.completions.push(t);
                 continue;
             };
-            let cqe_done = t + fabric.dma_write(reserve_at, pf, mem, cq_slot, CQE_BYTES);
-            self.queue_mut(q)
+            let cqe_done = match fabric.dma_write(reserve_at, pf, mem, cq_slot, CQE_BYTES) {
+                Some(d) => t + d,
+                // Link died between payload fetch and CQE write: the packet
+                // reached the wire but its completion never lands; firmware
+                // synthesizes an error CQE for the watchdog to find.
+                None => {
+                    Self::post_error_completion(&mut self.queues[q.0], &desc, t);
+                    self.counters.error_completions += 1;
+                    out.errors += 1;
+                    continue;
+                }
+            };
+            self.queues[q.0]
                 .tx_cq
                 .post(Completion {
                     bytes: desc.len,
@@ -366,6 +589,7 @@ impl Nic {
                     flow: desc.flow,
                     buffer: None,
                     landed_at: cqe_done,
+                    error: false,
                 })
                 .expect("slot checked above");
             out.completions.push(cqe_done);
@@ -375,15 +599,37 @@ impl Nic {
         // The interrupt is triggered by the FIRST completion written while
         // armed (moderated by irq_delay); NAPI then paces itself with the
         // later landings.
-        if !out.completions.is_empty() && self.queue(q).irq_armed {
-            self.queue_mut(q).irq_armed = false;
+        if !out.completions.is_empty() && self.queues[q.0].irq_armed {
+            self.queues[q.0].irq_armed = false;
             let first = out.completions.iter().copied().min().unwrap_or(t);
             let fire = first + self.cfg.irq_delay;
-            let lat = fabric.interrupt(reserve_at, pf, mem, node);
-            out.irq = Some((fire + lat, irq_core));
+            if self.take_irq_loss(pf) {
+                // Swallowed: completions landed, doorbell to the CPU lost.
+            } else if let Some(lat) = fabric.interrupt(reserve_at, pf, mem, node) {
+                out.irq = Some((fire + lat, irq_core));
+            } else {
+                self.counters.lost_irqs += 1;
+            }
         }
-        self.queue_mut(q).busy_until = engine;
+        self.queues[q.0].busy_until = engine;
         out
+    }
+
+    /// Synthesizes an error CQE for `desc` at `at` (control path, no DMA
+    /// charge), if the CQ has room.
+    fn post_error_completion(q: &mut Queue, desc: &TxDesc, at: Time) {
+        if q.tx_cq.next_slot_addr().is_some() {
+            q.tx_cq
+                .post(Completion {
+                    bytes: desc.len,
+                    seq: 0,
+                    flow: desc.flow,
+                    buffer: None,
+                    landed_at: at,
+                    error: true,
+                })
+                .expect("slot checked above");
+        }
     }
 
     /// Handles a packet arriving from the wire at `now` (already including
@@ -402,22 +648,50 @@ impl Nic {
         fabric: &mut PcieFabric,
         mem: &mut MemSystem,
     ) -> RxOutcome {
-        let pf = self.mpfs.steer(dst_mac, &flow);
-        let q = match self.arfs[pf.0].steer(now, &flow) {
+        let steered = self.mpfs.steer(dst_mac, &flow);
+        let pf = if self.pf_alive[steered.0] {
+            steered
+        } else if self.cfg.steering == SteeringMode::FlowBased {
+            // OctoNIC firmware: a packet for a dead PF lands on a survivor
+            // (its flow rule normally migrated at fail time; this catches
+            // the default-PF path and races around the failover instant).
+            match self.failover_target() {
+                Some(s) => s,
+                None => {
+                    self.counters.dropped_pf_dead += 1;
+                    self.rx_dropped += 1;
+                    return RxOutcome::DroppedPfDead { pf: steered };
+                }
+            }
+        } else {
+            // Standard firmware: each PF is its own logical NIC; with the
+            // function dead its traffic has nowhere to go.
+            self.counters.dropped_pf_dead += 1;
+            self.rx_dropped += 1;
+            return RxOutcome::DroppedPfDead { pf: steered };
+        };
+        let q = match self.arfs[pf.0]
+            .steer(now, &flow)
+            .or_else(|| self.rss_fallback(pf, &flow))
+        {
             Some(q) => q,
-            None => self.rss_fallback(pf, &flow),
+            None => {
+                self.counters.dropped_pf_dead += 1;
+                self.rx_dropped += 1;
+                return RxOutcome::DroppedNoQueue { pf };
+            }
         };
         let (qpf, irq_core, node) = {
-            let qq = self.queue(q);
+            let qq = &self.queues[q.0];
             (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node)
         };
         // Pipelined Rx engine: `processing_delay` of per-packet occupancy;
         // descriptor prefetch + payload/CQE DMA latencies overlap across
         // packets (bandwidth still serializes inside the PCIe links).
-        let engine = now.max(self.queue(q).busy_until) + self.cfg.processing_delay;
+        let engine = now.max(self.queues[q.0].busy_until) + self.cfg.processing_delay;
 
         // Pop a posted buffer.
-        let (rx_slot, buf) = match self.queue_mut(q).rx_ring.consume() {
+        let (rx_slot, buf) = match self.queues[q.0].rx_ring.consume() {
             Some(x) => x,
             None => {
                 self.rx_dropped += 1;
@@ -430,17 +704,26 @@ impl Nic {
         // three DMAs of one packet queue FIFO on the endpoint's link, so
         // the slowest component (whose duration already includes the
         // backlog of the earlier ones) bounds delivery; summing would
-        // charge the same queue delay multiple times.
-        let d_desc = fabric.dma_read(now, qpf, mem, rx_slot, DESC_BYTES);
-        let d_payload = fabric.dma_write(now, qpf, mem, buf.addr, payload);
-        let cq_slot = self
-            .queue(q)
+        // charge the same queue delay multiple times. Any of the three
+        // returning `None` means the link dropped under the PF: the packet
+        // (and the popped buffer — hardware cannot return it) is lost.
+        let cq_slot = self.queues[q.0]
             .rx_cq
             .next_slot_addr()
             .expect("Rx CQ sized to ring; cannot overrun");
-        let d_cqe = fabric.dma_write(now, qpf, mem, cq_slot, CQE_BYTES);
-        let t = engine + d_desc.max(d_payload).max(d_cqe);
-        self.queue_mut(q)
+        let dmas = fabric
+            .dma_read(now, qpf, mem, rx_slot, DESC_BYTES)
+            .and_then(|d_desc| {
+                let d_payload = fabric.dma_write(now, qpf, mem, buf.addr, payload)?;
+                let d_cqe = fabric.dma_write(now, qpf, mem, cq_slot, CQE_BYTES)?;
+                Some(d_desc.max(d_payload).max(d_cqe))
+            });
+        let Some(slowest) = dmas else {
+            self.rx_dropped += 1;
+            return RxOutcome::DroppedLinkDown { queue: q, pf: qpf };
+        };
+        let t = engine + slowest;
+        self.queues[q.0]
             .rx_cq
             .post(Completion {
                 bytes: payload,
@@ -448,16 +731,23 @@ impl Nic {
                 flow,
                 buffer: Some(buf),
                 landed_at: t,
+                error: false,
             })
             .expect("slot checked above");
         self.rx_bytes_per_pf[qpf.0] += payload;
-        self.queue_mut(q).busy_until = engine;
+        self.queues[q.0].busy_until = engine;
 
-        let irq = if self.queue(q).irq_armed {
-            self.queue_mut(q).irq_armed = false;
+        let irq = if self.queues[q.0].irq_armed {
+            self.queues[q.0].irq_armed = false;
             let fire = t + self.cfg.irq_delay;
-            let lat = fabric.interrupt(now, qpf, mem, node);
-            Some((fire + lat, irq_core))
+            if self.take_irq_loss(qpf) {
+                None
+            } else if let Some(lat) = fabric.interrupt(now, qpf, mem, node) {
+                Some((fire + lat, irq_core))
+            } else {
+                self.counters.lost_irqs += 1;
+                None
+            }
         } else {
             None
         };
@@ -491,28 +781,34 @@ impl Nic {
         self.rx_dropped
     }
 
-    fn rss_fallback(&self, pf: PfId, flow: &FlowTuple) -> QueueId {
+    fn rss_fallback(&self, pf: PfId, flow: &FlowTuple) -> Option<QueueId> {
         let candidates: Vec<QueueId> = (0..self.queues.len())
             .filter(|i| self.queues[*i].cfg.pf == pf)
             .map(QueueId)
             .collect();
-        assert!(
-            !candidates.is_empty(),
-            "no queues attached to {pf}; attach queues before receiving"
-        );
-        candidates[(flow.rss_hash() % candidates.len() as u64) as usize]
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[(flow.rss_hash() % candidates.len() as u64) as usize])
     }
 
-    fn queue(&self, q: QueueId) -> &Queue {
-        self.queues
-            .get(q.0)
-            .unwrap_or_else(|| panic!("unknown queue {q}"))
+    /// Resolves a queue reference, counting (rather than panicking on)
+    /// references to queues the device does not have — a buggy or stale
+    /// driver must degrade the run, not abort it.
+    fn queue(&self, q: QueueId) -> Option<&Queue> {
+        let qq = self.queues.get(q.0);
+        if qq.is_none() {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+        }
+        qq
     }
 
-    fn queue_mut(&mut self, q: QueueId) -> &mut Queue {
-        self.queues
-            .get_mut(q.0)
-            .unwrap_or_else(|| panic!("unknown queue {q}"))
+    fn queue_mut(&mut self, q: QueueId) -> Option<&mut Queue> {
+        if q.0 >= self.queues.len() {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+            return None;
+        }
+        Some(&mut self.queues[q.0])
     }
 }
 
@@ -858,6 +1154,207 @@ mod tests {
             .nic
             .post_tx(r.q0, TxDesc::simple(payload, 100, flow(), false))
             .is_none());
+    }
+
+    #[test]
+    fn unknown_queue_counted_not_panicking() {
+        let mut r = rig(SteeringMode::MacBased);
+        let bogus = QueueId(99);
+        assert_eq!(r.nic.tx_backlog(bogus), 0);
+        assert_eq!(r.nic.rx_buffers_available(bogus), 0);
+        assert!(r.nic.queue_config(bogus).is_none());
+        assert!(r.nic.pop_rx_completion(bogus).is_none());
+        assert!(r
+            .nic
+            .post_rx(
+                bogus,
+                RxDesc {
+                    addr: PhysAddr(0),
+                    len: 2048,
+                },
+            )
+            .is_none());
+        r.nic.rearm_irq(bogus);
+        assert!(!r.nic.irq_armed(bogus));
+        let out = r
+            .nic
+            .tx_doorbell(Time::ZERO, Time::ZERO, bogus, &mut r.fab, &mut r.mem);
+        assert!(out.packets.is_empty() && out.completions.is_empty());
+        assert_eq!(r.nic.counters().invalid_refs, 8);
+    }
+
+    #[test]
+    fn pf_fail_flushes_tx_ring_with_error_completions() {
+        let mut r = rig(SteeringMode::FlowBased);
+        let payload = r.mem.alloc(N0, 4096);
+        for _ in 0..3 {
+            r.nic
+                .post_tx(r.q0, TxDesc::simple(payload, 1000, flow(), false))
+                .unwrap();
+        }
+        let flushed = r.nic.fail_pf(Time::from_us(3), r.pfs[0]);
+        assert_eq!(flushed, 0, "no flow rules installed yet");
+        assert_eq!(r.nic.tx_backlog(r.q0), 0);
+        assert_eq!(r.nic.counters().error_completions, 3);
+        let mut seen = 0;
+        while let Some((_, c)) = r.nic.pop_tx_completion(r.q0) {
+            assert!(c.error, "flushed descriptors carry error status");
+            assert_eq!(c.landed_at, Time::from_us(3));
+            seen += 1;
+        }
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn doorbell_on_dead_pf_errors_out() {
+        let mut r = rig(SteeringMode::FlowBased);
+        r.nic.fail_pf(Time::ZERO, r.pfs[0]);
+        let payload = r.mem.alloc(N0, 4096);
+        r.nic
+            .post_tx(r.q0, TxDesc::simple(payload, 1448, flow(), false))
+            .unwrap();
+        let out = r.nic.tx_doorbell(
+            Time::from_us(1),
+            Time::from_us(1),
+            r.q0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(out.packets.is_empty(), "dead PF sends nothing");
+        assert_eq!(out.errors, 1);
+        assert_eq!(r.nic.tx_bytes(r.pfs[0]), 0);
+    }
+
+    #[test]
+    fn ioctorfs_fails_over_to_surviving_pf() {
+        let mut r = rig(SteeringMode::FlowBased);
+        let q1_ = r.q1;
+        post_buffers(&mut r, q1_, N1, 4);
+        let one_mac = MacAddr::local_admin(7);
+        r.nic.mpfs_mut().install_flow(flow(), r.pfs[0]);
+        r.nic.arfs_install(Time::ZERO, r.pfs[0], flow(), r.q0);
+        let moved = r.nic.fail_pf(Time::from_us(1), r.pfs[0]);
+        assert_eq!(moved, 1, "the flow rule migrates to the survivor");
+        assert!(!r.nic.pf_alive(r.pfs[0]));
+        let out = r.nic.on_wire_packet(
+            Time::from_us(2),
+            one_mac,
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        match out {
+            RxOutcome::Delivered { pf, queue, .. } => {
+                assert_eq!(pf, r.pfs[1], "delivered through the survivor");
+                assert_eq!(queue, r.q1);
+            }
+            other => panic!("expected failover delivery, got {other:?}"),
+        }
+        assert_eq!(r.nic.counters().resteered_flows, 1);
+    }
+
+    #[test]
+    fn mac_steering_drops_when_pf_dead() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 4);
+        r.nic.fail_pf(Time::ZERO, r.pfs[0]);
+        let out = r.nic.on_wire_packet(
+            Time::from_us(1),
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(
+            matches!(out, RxOutcome::DroppedPfDead { pf } if pf == r.pfs[0]),
+            "standard firmware has no failover path: {out:?}"
+        );
+        assert_eq!(r.nic.counters().dropped_pf_dead, 1);
+        assert_eq!(r.nic.rx_dropped(), 1);
+    }
+
+    #[test]
+    fn pf_recovery_restores_default_steering() {
+        let mut r = rig(SteeringMode::FlowBased);
+        assert_eq!(r.nic.mpfs().default_pf(), r.pfs[0]);
+        r.nic.fail_pf(Time::ZERO, r.pfs[0]);
+        assert_eq!(
+            r.nic.mpfs().default_pf(),
+            r.pfs[1],
+            "default fallback moves off the dead PF"
+        );
+        r.nic.recover_pf(r.pfs[0]);
+        assert!(r.nic.pf_alive(r.pfs[0]));
+        assert_eq!(r.nic.mpfs().default_pf(), r.pfs[0]);
+        assert_eq!(r.nic.counters().pf_fails, 1);
+        assert_eq!(r.nic.counters().pf_recoveries, 1);
+        // Idempotence: repeated events are absorbed, not double-counted.
+        r.nic.recover_pf(r.pfs[0]);
+        assert_eq!(r.nic.counters().pf_recoveries, 1);
+    }
+
+    #[test]
+    fn injected_irq_loss_swallows_exactly_one_interrupt() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 8);
+        r.nic.inject_irq_loss(r.pfs[0]);
+        let first = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            100,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(
+            matches!(first, RxOutcome::Delivered { irq: None, .. }),
+            "the completion lands but the MSI-X is lost: {first:?}"
+        );
+        assert_eq!(r.nic.counters().lost_irqs, 1);
+        assert_eq!(r.nic.rx_cq_depth(r.q0), 1, "data is not lost");
+        // After the watchdog re-arms, interrupts flow again.
+        r.nic.rearm_irq(r.q0);
+        let second = r.nic.on_wire_packet(
+            Time::from_us(5),
+            MacAddr::local_admin(0),
+            flow(),
+            100,
+            1,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(matches!(second, RxOutcome::Delivered { irq: Some(_), .. }));
+        assert_eq!(r.nic.counters().lost_irqs, 1);
+    }
+
+    #[test]
+    fn link_down_under_pf_drops_rx() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 4);
+        r.fab.link_down(r.pfs[0]);
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(
+            matches!(out, RxOutcome::DroppedLinkDown { pf, .. } if pf == r.pfs[0]),
+            "{out:?}"
+        );
+        assert_eq!(r.nic.rx_dropped(), 1);
+        assert!(r.fab.counters().dropped_txns > 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod tso;
 pub mod wire;
 
 pub use desc::{Completion, RxDesc, TxDesc, TxFragment};
-pub use device::{Nic, NicConfig, QueueConfig, QueueId, RxOutcome, TxOutcome};
+pub use device::{Nic, NicConfig, NicCounters, QueueConfig, QueueId, RxOutcome, TxOutcome};
 pub use flow::{FlowTuple, MacAddr, Protocol};
 pub use mpfs::{Mpfs, SteeringMode};
 pub use steering::ArfsTable;

@@ -69,6 +69,44 @@ impl Mpfs {
         self.flows.remove(flow)
     }
 
+    /// The PF unmatched traffic currently falls back to.
+    pub fn default_pf(&self) -> PfId {
+        self.default_pf
+    }
+
+    /// Redirects unmatched traffic (failover moves the default off a dead
+    /// PF and back after recovery).
+    pub fn set_default_pf(&mut self, pf: PfId) {
+        self.default_pf = pf;
+    }
+
+    /// Number of flow rules currently steering to `pf`.
+    pub fn flows_on(&self, pf: PfId) -> usize {
+        self.flows.values().filter(|&&p| p == pf).count()
+    }
+
+    /// Re-points every flow rule on `from` to `to` — the firmware half of
+    /// PF failover: a dead PF's steering entries migrate to a survivor so
+    /// its flows keep landing somewhere. Returns the number of rules moved.
+    ///
+    /// Rules are rewritten in sorted 5-tuple order: the flow table is a
+    /// hash map, and iterating it directly would make the update sequence
+    /// (and anything seeded from it) nondeterministic across runs.
+    pub fn resteer(&mut self, from: PfId, to: PfId) -> usize {
+        let mut moved: Vec<FlowTuple> = self
+            .flows
+            .iter()
+            .filter(|&(_, &p)| p == from)
+            .map(|(f, _)| *f)
+            .collect();
+        moved.sort_unstable();
+        for f in &moved {
+            self.updates += 1;
+            self.flows.insert(*f, to);
+        }
+        moved.len()
+    }
+
     /// Steers an arriving packet to a PF.
     pub fn steer(&self, dst_mac: MacAddr, flow: &FlowTuple) -> PfId {
         match self.mode {
@@ -134,6 +172,29 @@ mod tests {
         assert_eq!(m.steer(MacAddr::local_admin(0), &flow(1)), PfId(1));
         assert_eq!(m.flow_rules(), 1);
         assert_eq!(m.updates(), 2);
+    }
+
+    #[test]
+    fn resteer_moves_all_rules_off_a_pf() {
+        let mut m = Mpfs::new(SteeringMode::FlowBased, PfId(0));
+        m.install_flow(flow(1), PfId(0));
+        m.install_flow(flow(2), PfId(0));
+        m.install_flow(flow(3), PfId(1));
+        let before = m.updates();
+        assert_eq!(m.resteer(PfId(0), PfId(1)), 2);
+        assert_eq!(m.flows_on(PfId(0)), 0);
+        assert_eq!(m.flows_on(PfId(1)), 3);
+        assert_eq!(m.updates(), before + 2);
+        // Nothing left to move.
+        assert_eq!(m.resteer(PfId(0), PfId(1)), 0);
+    }
+
+    #[test]
+    fn default_pf_redirects() {
+        let mut m = Mpfs::new(SteeringMode::FlowBased, PfId(0));
+        assert_eq!(m.default_pf(), PfId(0));
+        m.set_default_pf(PfId(1));
+        assert_eq!(m.steer(MacAddr::local_admin(0), &flow(9)), PfId(1));
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl<T> DescRing<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::SimRng;
 
     fn ring(cap: usize) -> DescRing<u32> {
         DescRing::new(PhysAddr(0x1000), 64, cap)
@@ -192,28 +192,30 @@ mod tests {
         assert_eq!(r.len(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_never_exceeds_capacity(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+    #[test]
+    fn prop_never_exceeds_capacity() {
+        let mut rng = SimRng::seed(0x4149);
+        for _ in 0..16 {
+            let ops = 1 + rng.below(499) as usize;
             let mut r = ring(8);
             let mut model: VecDeque<u32> = VecDeque::new();
             let mut next = 0u32;
-            for push in ops {
-                if push {
+            for _ in 0..ops {
+                if rng.chance(0.5) {
                     let ok = r.post(next).is_some();
                     if model.len() < 8 {
-                        prop_assert!(ok);
+                        assert!(ok);
                         model.push_back(next);
                     } else {
-                        prop_assert!(!ok);
+                        assert!(!ok);
                     }
                     next += 1;
                 } else {
                     let got = r.consume().map(|(_, v)| v);
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(got, model.pop_front());
                 }
-                prop_assert!(r.len() <= 8);
-                prop_assert_eq!(r.len(), model.len());
+                assert!(r.len() <= 8);
+                assert_eq!(r.len(), model.len());
             }
         }
     }

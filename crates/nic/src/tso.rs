@@ -42,7 +42,7 @@ pub fn segment_count(len: u64, mss: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::SimRng;
 
     #[test]
     fn exact_multiple() {
@@ -62,20 +62,28 @@ mod tests {
         segment(10, 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_segments_sum_to_len(len in 0u64..200_000, mss in 1u64..9000) {
+    #[test]
+    fn prop_segments_sum_to_len() {
+        let mut r = SimRng::seed(0x750a);
+        for _ in 0..256 {
+            let len = r.below(200_000);
+            let mss = 1 + r.below(8999);
             let segs = segment(len, mss);
-            prop_assert_eq!(segs.iter().sum::<u64>(), len);
-            prop_assert!(segs.iter().all(|&s| s > 0 && s <= mss));
-            prop_assert_eq!(segs.len() as u64, segment_count(len, mss));
+            assert_eq!(segs.iter().sum::<u64>(), len);
+            assert!(segs.iter().all(|&s| s > 0 && s <= mss));
+            assert_eq!(segs.len() as u64, segment_count(len, mss));
         }
+    }
 
-        #[test]
-        fn prop_only_last_segment_short(len in 1u64..200_000, mss in 1u64..9000) {
+    #[test]
+    fn prop_only_last_segment_short() {
+        let mut r = SimRng::seed(0x750b);
+        for _ in 0..256 {
+            let len = 1 + r.below(199_999);
+            let mss = 1 + r.below(8999);
             let segs = segment(len, mss);
             for &s in &segs[..segs.len() - 1] {
-                prop_assert_eq!(s, mss);
+                assert_eq!(s, mss);
             }
         }
     }

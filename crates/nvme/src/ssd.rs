@@ -111,7 +111,7 @@ impl Ssd {
                 *self
                     .ports
                     .iter()
-                    .find(|pf| fabric.node_of(**pf) == home)
+                    .find(|pf| fabric.node_of(**pf) == Some(home))
                     .unwrap_or(&self.ports[0])
             }
         };
@@ -120,7 +120,9 @@ impl Ssd {
         // per-drive flash FIFO is reserved at the command's arrival, which
         // is monotone per drive.
         let slot = self.sq_addr.offset((self.reads % 1024) * SQE_BYTES);
-        let cmd_dur = fabric.dma_read(now, cmd_port, mem, slot, SQE_BYTES);
+        let cmd_dur = fabric
+            .dma_read(now, cmd_port, mem, slot, SQE_BYTES)
+            .expect("SSD links are not fault-injected");
         // Flash cannot start until a transfer-buffer slot frees (the
         // controller's internal buffer backpressures the NAND pipeline when
         // host DMA is slow — e.g. a congested interconnect). The slot that
@@ -134,9 +136,13 @@ impl Ssd {
         let flash_done = self.media.read((now + cmd_dur).max(gate), len);
         // Data to host, then the CQE (bandwidth reserved at the submission
         // event time, like every shared-resource reservation in the model).
-        let data_dur = fabric.dma_write(now, data_port, mem, buf, len);
+        let data_dur = fabric
+            .dma_write(now, data_port, mem, buf, len)
+            .expect("SSD links are not fault-injected");
         let cq_slot = self.cq_addr.offset((self.reads % 1024) * CQE_BYTES);
-        let cqe_dur = fabric.dma_write(now, data_port, mem, cq_slot, CQE_BYTES);
+        let cqe_dur = fabric
+            .dma_write(now, data_port, mem, cq_slot, CQE_BYTES)
+            .expect("SSD links are not fault-injected");
         let t = flash_done + data_dur + cqe_dur;
         self.xfer_done.push_back(flash_done + data_dur);
         if self.xfer_done.len() >= XFER_BUFFER_SLOTS {
@@ -214,7 +220,7 @@ mod tests {
         let buf = mem.alloc(N1, 128 * 1024);
         mem.reset_counters();
         let r = ssd.read(Time::ZERO, buf, 128 * 1024, &mut fab, &mut mem);
-        assert_eq!(fab.node_of(r.data_pf), N1, "local port chosen");
+        assert_eq!(fab.node_of(r.data_pf), Some(N1), "local port chosen");
         // Only the tiny command fetch crossed; the 128 KiB payload did not.
         assert!(
             mem.counters().interconnect_bytes < 4096,

@@ -1,7 +1,14 @@
 //! The machine's PCIe endpoints and the DMA/MMIO transactions they carry.
+//!
+//! Each endpoint's link runs a small state machine (Up / Degraded / Down)
+//! driven by the fault-injection layer: downtrained links transparently slow
+//! DMA (retraining latency + reduced bandwidth), dead links drop
+//! transactions, and every drop or bad reference is counted rather than
+//! panicking.
 
 use memsys::{MemSystem, NodeId, PhysAddr};
-use simcore::{BwLink, Dur, Time};
+use simcore::{BwLink, Dur, FaultKind, Time};
+use std::cell::Cell;
 
 use crate::bifurcation::Bifurcation;
 use crate::link::{wire_bytes, PcieGen, PcieLinkConfig, DEFAULT_MPS};
@@ -26,6 +33,9 @@ pub struct FabricConfig {
     /// Extra per-transaction latency when a programmable PCIe switch sits
     /// between the endpoint and the root port (§3.2; zero = direct wiring).
     pub switch_latency: Dur,
+    /// LTSSM retraining downtime charged when a link changes width/speed or
+    /// comes back from Down: the link carries nothing for this long.
+    pub retrain_latency: Dur,
 }
 
 impl Default for FabricConfig {
@@ -34,13 +44,40 @@ impl Default for FabricConfig {
             max_payload: DEFAULT_MPS,
             link_latency: Dur::from_ns(150),
             switch_latency: Dur::ZERO,
+            retrain_latency: Dur::from_us(20),
         }
     }
+}
+
+/// Operational state of an endpoint's link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Trained at the configured width and speed.
+    Up,
+    /// Retrained to fewer lanes / a lower generation: slower, not gone.
+    Degraded,
+    /// Electrically dead: transactions are dropped (and counted).
+    Down,
+}
+
+/// Error and fault accounting for the fabric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricCounters {
+    /// References to endpoints that do not exist (driver bugs surfaced as
+    /// counters instead of panics).
+    pub invalid_refs: u64,
+    /// Transactions dropped because the target link was Down.
+    pub dropped_txns: u64,
+    /// Link retraining events (degrade or recover).
+    pub retrains: u64,
 }
 
 #[derive(Debug)]
 struct Endpoint {
     node: NodeId,
+    /// The link as physically configured (restored by `LinkRecover`).
+    configured: PcieLinkConfig,
+    state: LinkState,
     /// Device → host direction (DMA writes, read requests, MSI-X).
     upstream: BwLink,
     /// Host → device direction (DMA read completions, MMIO).
@@ -52,10 +89,17 @@ struct Endpoint {
 /// Devices (NIC, NVMe) hold [`PfId`]s and issue their DMA through this
 /// fabric, which charges PCIe serialization + TLP overhead on the endpoint's
 /// link and the memory-system cost of the access itself.
+///
+/// Transaction methods return `None` when the transaction cannot happen —
+/// unknown endpoint (bumps `invalid_refs`) or a Down link (bumps
+/// `dropped_txns`) — so callers degrade gracefully instead of panicking.
 #[derive(Debug)]
 pub struct PcieFabric {
     cfg: FabricConfig,
     endpoints: Vec<Endpoint>,
+    invalid_refs: Cell<u64>,
+    dropped_txns: u64,
+    retrains: u64,
 }
 
 impl PcieFabric {
@@ -64,6 +108,9 @@ impl PcieFabric {
         PcieFabric {
             cfg,
             endpoints: Vec::new(),
+            invalid_refs: Cell::new(0),
+            dropped_txns: 0,
+            retrains: 0,
         }
     }
 
@@ -74,6 +121,8 @@ impl PcieFabric {
         let bps = link.bytes_per_sec();
         self.endpoints.push(Endpoint {
             node,
+            configured: link,
+            state: LinkState::Up,
             upstream: BwLink::new(format!("pcie{}-up", id.0), bps, self.cfg.link_latency),
             downstream: BwLink::new(format!("pcie{}-down", id.0), bps, self.cfg.link_latency),
         });
@@ -94,17 +143,92 @@ impl PcieFabric {
         self.endpoints.len()
     }
 
-    /// The NUMA node an endpoint's I/O controller belongs to.
-    ///
-    /// # Panics
-    /// Panics on an unknown id.
-    pub fn node_of(&self, pf: PfId) -> NodeId {
-        self.ep(pf).node
+    /// The NUMA node an endpoint's I/O controller belongs to, or `None`
+    /// (counted in `invalid_refs`) for an unknown id.
+    pub fn node_of(&self, pf: PfId) -> Option<NodeId> {
+        Some(self.ep(pf)?.node)
+    }
+
+    /// The current link state of `pf`, or `None` for an unknown id.
+    pub fn link_state(&self, pf: PfId) -> Option<LinkState> {
+        Some(self.ep(pf)?.state)
+    }
+
+    /// Applies a link-level fault event at `now`. PF-level faults
+    /// (`PfFail`/`PfRecover`/`IrqLoss`) are the device's concern and are
+    /// ignored here. Returns `false` (counted) for an unknown endpoint.
+    pub fn apply_link_fault(&mut self, now: Time, pf: PfId, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::LinkDown => self.link_down(pf),
+            FaultKind::LinkDegrade { lanes, gen } => {
+                let gen = match gen {
+                    4 => PcieGen::Gen4,
+                    _ => PcieGen::Gen3,
+                };
+                self.link_degrade(now, pf, lanes, gen)
+            }
+            FaultKind::LinkRecover => self.link_recover(now, pf),
+            _ => true,
+        }
+    }
+
+    /// Takes the link behind `pf` down: every future transaction drops until
+    /// [`link_recover`](Self::link_recover). Returns `false` for an unknown
+    /// endpoint.
+    pub fn link_down(&mut self, pf: PfId) -> bool {
+        match self.ep_mut(pf) {
+            Some(ep) => {
+                ep.state = LinkState::Down;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Retrains the link behind `pf` to `lanes` lanes at `gen`: the link
+    /// carries nothing during `retrain_latency`, then runs at the reduced
+    /// rate. Returns `false` for an unknown endpoint.
+    pub fn link_degrade(&mut self, now: Time, pf: PfId, lanes: u8, gen: PcieGen) -> bool {
+        let retrain = self.cfg.retrain_latency;
+        match self.ep_mut(pf) {
+            Some(ep) => {
+                let bps = PcieLinkConfig::new(gen, lanes).bytes_per_sec();
+                ep.state = LinkState::Degraded;
+                ep.upstream.set_bytes_per_sec(bps);
+                ep.downstream.set_bytes_per_sec(bps);
+                ep.upstream.stall_until(now + retrain);
+                ep.downstream.stall_until(now + retrain);
+                self.retrains += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Retrains the link behind `pf` back to its configured width and speed
+    /// (from Degraded or Down), paying `retrain_latency` of downtime.
+    /// Returns `false` for an unknown endpoint.
+    pub fn link_recover(&mut self, now: Time, pf: PfId) -> bool {
+        let retrain = self.cfg.retrain_latency;
+        match self.ep_mut(pf) {
+            Some(ep) => {
+                let bps = ep.configured.bytes_per_sec();
+                ep.state = LinkState::Up;
+                ep.upstream.set_bytes_per_sec(bps);
+                ep.downstream.set_bytes_per_sec(bps);
+                ep.upstream.stall_until(now + retrain);
+                ep.downstream.stall_until(now + retrain);
+                self.retrains += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Device-initiated DMA write: `len` bytes from the device into memory
     /// at `addr`, via endpoint `pf`. Returns the time until the write is
-    /// globally visible.
+    /// globally visible, or `None` if the transaction was dropped (unknown
+    /// endpoint or Down link).
     pub fn dma_write(
         &mut self,
         now: Time,
@@ -112,21 +236,21 @@ impl PcieFabric {
         mem: &mut MemSystem,
         addr: PhysAddr,
         len: u64,
-    ) -> Dur {
+    ) -> Option<Dur> {
         let wire = wire_bytes(len, self.cfg.max_payload);
-        let node = self.ep(pf).node;
+        let node = self.usable_ep(pf)?.node;
         // Hops reserved at `now`, durations summed: reserving downstream at
         // a future arrival time would push shared-link FIFO horizons ahead
         // of near-term traffic (see memsys::system for the same rule).
         let up_dur =
-            self.ep_mut(pf).upstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
+            self.ep_mut(pf)?.upstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
         let mem_stall = mem.dma_write(now, node, addr, len);
-        up_dur + mem_stall
+        Some(up_dur + mem_stall)
     }
 
     /// Device-initiated DMA read: `len` bytes from memory at `addr` into the
     /// device, via endpoint `pf`. Returns the time until the data has fully
-    /// arrived at the device.
+    /// arrived at the device, or `None` if the transaction was dropped.
     pub fn dma_read(
         &mut self,
         now: Time,
@@ -134,60 +258,103 @@ impl PcieFabric {
         mem: &mut MemSystem,
         addr: PhysAddr,
         len: u64,
-    ) -> Dur {
-        let node = self.ep(pf).node;
+    ) -> Option<Dur> {
+        let node = self.usable_ep(pf)?.node;
         // Read request TLP upstream (header only); hops reserved at `now`,
         // durations summed (see dma_write).
         let req_wire = wire_bytes(1, self.cfg.max_payload);
         let req_dur =
-            self.ep_mut(pf).upstream.reserve(now, req_wire).since(now) + self.cfg.switch_latency;
+            self.ep_mut(pf)?.upstream.reserve(now, req_wire).since(now) + self.cfg.switch_latency;
         let mem_stall = mem.dma_read(now, node, addr, len);
         // Completion TLPs downstream with the data.
         let wire = wire_bytes(len, self.cfg.max_payload);
         let data_dur =
-            self.ep_mut(pf).downstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
-        req_dur + mem_stall + data_dur
+            self.ep_mut(pf)?.downstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
+        Some(req_dur + mem_stall + data_dur)
     }
 
     /// CPU-initiated MMIO write (doorbell) from a core on `core_node` to the
     /// device behind `pf`. Posted: the returned duration is the time until
-    /// the device observes it (the CPU does not stall that long).
-    pub fn mmio_write(&mut self, now: Time, core_node: NodeId, pf: PfId, mem: &MemSystem) -> Dur {
-        let hop = mem.mmio_extra_hops(core_node, self.ep(pf).node);
+    /// the device observes it (the CPU does not stall that long). `None` if
+    /// the write was dropped (the device will never see the doorbell; the
+    /// driver's watchdog is responsible for noticing).
+    pub fn mmio_write(
+        &mut self,
+        now: Time,
+        core_node: NodeId,
+        pf: PfId,
+        mem: &MemSystem,
+    ) -> Option<Dur> {
+        let hop = mem.mmio_extra_hops(core_node, self.usable_ep(pf)?.node);
         let wire = wire_bytes(8, self.cfg.max_payload);
-        let done = self.ep_mut(pf).downstream.reserve(now, wire);
-        done.since(now) + hop + self.cfg.switch_latency
+        let done = self.ep_mut(pf)?.downstream.reserve(now, wire);
+        Some(done.since(now) + hop + self.cfg.switch_latency)
     }
 
     /// Device-initiated MSI-X interrupt from `pf` to a core on `target`.
-    /// Returns the delivery latency.
-    pub fn interrupt(&mut self, now: Time, pf: PfId, mem: &MemSystem, target: NodeId) -> Dur {
-        let hop = mem.interrupt_extra_hops(self.ep(pf).node, target);
+    /// Returns the delivery latency, or `None` if the interrupt was lost.
+    pub fn interrupt(
+        &mut self,
+        now: Time,
+        pf: PfId,
+        mem: &MemSystem,
+        target: NodeId,
+    ) -> Option<Dur> {
+        let hop = mem.interrupt_extra_hops(self.usable_ep(pf)?.node, target);
         let wire = wire_bytes(4, self.cfg.max_payload);
-        let done = self.ep_mut(pf).upstream.reserve(now, wire);
-        done.since(now) + hop + self.cfg.switch_latency
+        let done = self.ep_mut(pf)?.upstream.reserve(now, wire);
+        Some(done.since(now) + hop + self.cfg.switch_latency)
     }
 
-    /// Upstream (device→host) bytes carried by `pf` since construction.
+    /// Upstream (device→host) bytes carried by `pf` since construction
+    /// (0 for an unknown endpoint, counted).
     pub fn upstream_bytes(&self, pf: PfId) -> u64 {
-        self.ep(pf).upstream.total_bytes()
+        self.ep(pf).map_or(0, |ep| ep.upstream.total_bytes())
     }
 
-    /// Downstream (host→device) bytes carried by `pf` since construction.
+    /// Downstream (host→device) bytes carried by `pf` since construction
+    /// (0 for an unknown endpoint, counted).
     pub fn downstream_bytes(&self, pf: PfId) -> u64 {
-        self.ep(pf).downstream.total_bytes()
+        self.ep(pf).map_or(0, |ep| ep.downstream.total_bytes())
     }
 
-    fn ep(&self, pf: PfId) -> &Endpoint {
-        self.endpoints
-            .get(pf.0)
-            .unwrap_or_else(|| panic!("unknown endpoint {pf}"))
+    /// Error and fault accounting.
+    pub fn counters(&self) -> FabricCounters {
+        FabricCounters {
+            invalid_refs: self.invalid_refs.get(),
+            dropped_txns: self.dropped_txns,
+            retrains: self.retrains,
+        }
     }
 
-    fn ep_mut(&mut self, pf: PfId) -> &mut Endpoint {
-        self.endpoints
-            .get_mut(pf.0)
-            .unwrap_or_else(|| panic!("unknown endpoint {pf}"))
+    fn ep(&self, pf: PfId) -> Option<&Endpoint> {
+        let ep = self.endpoints.get(pf.0);
+        if ep.is_none() {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+        }
+        ep
+    }
+
+    fn ep_mut(&mut self, pf: PfId) -> Option<&mut Endpoint> {
+        if pf.0 >= self.endpoints.len() {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+            return None;
+        }
+        Some(&mut self.endpoints[pf.0])
+    }
+
+    /// Like [`ep`](Self::ep) but also fails (and counts a dropped
+    /// transaction) when the link is Down.
+    fn usable_ep(&mut self, pf: PfId) -> Option<&Endpoint> {
+        if pf.0 >= self.endpoints.len() {
+            self.invalid_refs.set(self.invalid_refs.get() + 1);
+            return None;
+        }
+        if self.endpoints[pf.0].state == LinkState::Down {
+            self.dropped_txns += 1;
+            return None;
+        }
+        Some(&self.endpoints[pf.0])
     }
 }
 
@@ -210,17 +377,21 @@ mod tests {
     fn bifurcated_endpoints_attach_to_both_sockets() {
         let (_, fab, pfs) = setup();
         assert_eq!(pfs.len(), 2);
-        assert_eq!(fab.node_of(pfs[0]), N0);
-        assert_eq!(fab.node_of(pfs[1]), N1);
+        assert_eq!(fab.node_of(pfs[0]), Some(N0));
+        assert_eq!(fab.node_of(pfs[1]), Some(N1));
     }
 
     #[test]
     fn local_dma_write_cheaper_than_remote() {
         let (mut mem, mut fab, pfs) = setup();
         let buf0 = mem.alloc(N0, 8192);
-        let local = fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf0, 1500);
+        let local = fab
+            .dma_write(Time::ZERO, pfs[0], &mut mem, buf0, 1500)
+            .unwrap();
         let buf0b = mem.alloc(N0, 8192);
-        let remote = fab.dma_write(Time::from_us(10), pfs[1], &mut mem, buf0b, 1500);
+        let remote = fab
+            .dma_write(Time::from_us(10), pfs[1], &mut mem, buf0b, 1500)
+            .unwrap();
         assert!(remote > local, "remote {remote} vs local {local}");
     }
 
@@ -228,9 +399,13 @@ mod tests {
     fn local_dma_read_cheaper_than_remote() {
         let (mut mem, mut fab, pfs) = setup();
         let buf = mem.alloc(N0, 8192);
-        let local = fab.dma_read(Time::ZERO, pfs[0], &mut mem, buf, 1500);
+        let local = fab
+            .dma_read(Time::ZERO, pfs[0], &mut mem, buf, 1500)
+            .unwrap();
         let buf2 = mem.alloc(N0, 8192);
-        let remote = fab.dma_read(Time::from_us(10), pfs[1], &mut mem, buf2, 1500);
+        let remote = fab
+            .dma_read(Time::from_us(10), pfs[1], &mut mem, buf2, 1500)
+            .unwrap();
         assert!(remote > local, "remote {remote} vs local {local}");
     }
 
@@ -257,16 +432,20 @@ mod tests {
         let buf = mem.alloc(N0, 1 << 22);
         // Push ~2 MiB through the x8 endpoint at one instant: later writes
         // queue behind earlier ones.
-        let first = fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 4096);
+        let first = fab
+            .dma_write(Time::ZERO, pfs[0], &mut mem, buf, 4096)
+            .unwrap();
         let mut last = Dur::ZERO;
         for i in 0..512 {
-            last = fab.dma_write(
-                Time::ZERO,
-                pfs[0],
-                &mut mem,
-                buf.offset(i * 4096 % (1 << 22)),
-                4096,
-            );
+            last = fab
+                .dma_write(
+                    Time::ZERO,
+                    pfs[0],
+                    &mut mem,
+                    buf.offset(i * 4096 % (1 << 22)),
+                    4096,
+                )
+                .unwrap();
         }
         assert!(last > first * 10, "queueing on the PCIe link");
     }
@@ -274,16 +453,16 @@ mod tests {
     #[test]
     fn mmio_remote_pays_hop() {
         let (mem, mut fab, pfs) = setup();
-        let local = fab.mmio_write(Time::ZERO, N0, pfs[0], &mem);
-        let remote = fab.mmio_write(Time::ZERO, N0, pfs[1], &mem);
+        let local = fab.mmio_write(Time::ZERO, N0, pfs[0], &mem).unwrap();
+        let remote = fab.mmio_write(Time::ZERO, N0, pfs[1], &mem).unwrap();
         assert!(remote > local);
     }
 
     #[test]
     fn interrupt_remote_pays_hop() {
         let (mem, mut fab, pfs) = setup();
-        let local = fab.interrupt(Time::ZERO, pfs[0], &mem, N0);
-        let remote = fab.interrupt(Time::ZERO, pfs[0], &mem, N1);
+        let local = fab.interrupt(Time::ZERO, pfs[0], &mem, N0).unwrap();
+        let remote = fab.interrupt(Time::ZERO, pfs[0], &mem, N1).unwrap();
         assert!(remote > local);
     }
 
@@ -297,15 +476,108 @@ mod tests {
         });
         let d = direct.add_endpoint(N0, PcieGen::Gen3, 8);
         let s = switched.add_endpoint(N0, PcieGen::Gen3, 8);
-        let ld = direct.mmio_write(Time::ZERO, N0, d, &mem);
-        let ls = switched.mmio_write(Time::ZERO, N0, s, &mem);
+        let ld = direct.mmio_write(Time::ZERO, N0, d, &mem).unwrap();
+        let ls = switched.mmio_write(Time::ZERO, N0, s, &mem).unwrap();
         assert_eq!(ls - ld, Dur::from_ns(120));
     }
 
     #[test]
-    #[should_panic(expected = "unknown endpoint")]
-    fn unknown_pf_panics() {
-        let (_, fab, _) = setup();
-        fab.node_of(PfId(99));
+    fn unknown_pf_counted_not_panicking() {
+        let (mut mem, mut fab, _) = setup();
+        assert_eq!(fab.node_of(PfId(99)), None);
+        assert_eq!(fab.counters().invalid_refs, 1);
+        let buf = mem.alloc(N0, 4096);
+        assert_eq!(fab.dma_write(Time::ZERO, PfId(99), &mut mem, buf, 64), None);
+        assert_eq!(fab.dma_read(Time::ZERO, PfId(99), &mut mem, buf, 64), None);
+        assert_eq!(fab.mmio_write(Time::ZERO, N0, PfId(99), &mem), None);
+        assert_eq!(fab.interrupt(Time::ZERO, PfId(99), &mem, N0), None);
+        assert_eq!(fab.counters().invalid_refs, 5);
+        assert_eq!(fab.counters().dropped_txns, 0);
+    }
+
+    #[test]
+    fn down_link_drops_and_counts() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        assert!(fab.link_down(pfs[0]));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Down));
+        assert_eq!(fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 1500), None);
+        assert_eq!(fab.interrupt(Time::ZERO, pfs[0], &mem, N0), None);
+        assert_eq!(fab.counters().dropped_txns, 2);
+        // The sibling PF is unaffected.
+        assert!(fab
+            .dma_write(Time::ZERO, pfs[1], &mut mem, buf, 1500)
+            .is_some());
+    }
+
+    #[test]
+    fn degraded_link_slows_but_delivers() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 1 << 20);
+        let healthy = fab
+            .dma_write(Time::ZERO, pfs[0], &mut mem, buf, 65536)
+            .unwrap();
+        // Downtrain x8 -> x1 well after the first transfer drained.
+        let t1 = Time::from_ms(1);
+        assert!(fab.link_degrade(t1, pfs[0], 1, PcieGen::Gen3));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Degraded));
+        // Issue after retraining completes: pure bandwidth effect, ~8x slower.
+        let t2 = t1 + Dur::from_ms(1);
+        let degraded = fab
+            .dma_write(t2, pfs[0], &mut mem, buf.offset(65536), 65536)
+            .unwrap();
+        assert!(
+            degraded > healthy * 4,
+            "x1 transfer ({degraded}) should be much slower than x8 ({healthy})"
+        );
+        // Recovery restores the configured rate.
+        let t3 = t2 + Dur::from_ms(1);
+        assert!(fab.link_recover(t3, pfs[0]));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Up));
+        let t4 = t3 + Dur::from_ms(1);
+        let recovered = fab
+            .dma_write(t4, pfs[0], &mut mem, buf.offset(131072), 65536)
+            .unwrap();
+        assert!(recovered < degraded / 2);
+        assert_eq!(fab.counters().retrains, 2);
+    }
+
+    #[test]
+    fn retrain_stalls_transactions_in_flight_window() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        let quiet = fab
+            .dma_write(Time::ZERO, pfs[0], &mut mem, buf, 64)
+            .unwrap();
+        // Degrade at t=1ms; a transaction right after waits out retraining.
+        let t = Time::from_ms(1);
+        fab.link_degrade(t, pfs[0], 8, PcieGen::Gen3);
+        let stalled = fab
+            .dma_write(t, pfs[0], &mut mem, buf.offset(4096), 64)
+            .unwrap();
+        assert!(
+            stalled >= FabricConfig::default().retrain_latency,
+            "stalled={stalled} behind retraining, quiet={quiet}"
+        );
+    }
+
+    #[test]
+    fn apply_link_fault_dispatches() {
+        let (_, mut fab, pfs) = setup();
+        assert!(fab.apply_link_fault(Time::ZERO, pfs[0], FaultKind::LinkDown));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Down));
+        assert!(fab.apply_link_fault(
+            Time::from_us(1),
+            pfs[0],
+            FaultKind::LinkDegrade { lanes: 4, gen: 3 }
+        ));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Degraded));
+        assert!(fab.apply_link_fault(Time::from_us(2), pfs[0], FaultKind::LinkRecover));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Up));
+        // PF-level faults are a no-op at the fabric layer.
+        assert!(fab.apply_link_fault(Time::from_us(3), pfs[0], FaultKind::PfFail));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Up));
+        // Unknown endpoints are reported, not panicked on.
+        assert!(!fab.apply_link_fault(Time::from_us(4), PfId(9), FaultKind::LinkDown));
     }
 }

@@ -28,7 +28,8 @@
 //! let mut fab = PcieFabric::new(FabricConfig::default());
 //! let pf = fab.add_endpoint(NodeId(0), PcieGen::Gen3, 8);
 //! let buf = mem.alloc(NodeId(0), 4096);
-//! let stall = fab.dma_write(Time::ZERO, pf, &mut mem, buf, 1500);
+//! // `None` would mean the transaction was dropped (unknown PF, dead link).
+//! let stall = fab.dma_write(Time::ZERO, pf, &mut mem, buf, 1500).unwrap();
 //! assert!(stall > simcore::Dur::ZERO);
 //! ```
 
@@ -40,5 +41,5 @@ pub mod fabric;
 pub mod link;
 
 pub use bifurcation::Bifurcation;
-pub use fabric::{FabricConfig, PcieFabric, PfId};
+pub use fabric::{FabricConfig, FabricCounters, LinkState, PcieFabric, PfId};
 pub use link::{PcieGen, PcieLinkConfig};

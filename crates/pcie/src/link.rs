@@ -78,7 +78,7 @@ pub fn wire_bytes(payload: u64, mps: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::SimRng;
 
     #[test]
     fn gen3_x8_matches_published_rate() {
@@ -114,18 +114,25 @@ mod tests {
         assert_eq!(wire_bytes(0, 256), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_wire_bytes_ge_payload(p in 0u64..1 << 24, mps in 1u64..4096) {
-            prop_assert!(wire_bytes(p, mps) >= p);
+    #[test]
+    fn prop_wire_bytes_ge_payload() {
+        let mut r = SimRng::seed(0x91e1);
+        for _ in 0..256 {
+            let p = r.below(1 << 24);
+            let mps = 1 + r.below(4095);
+            assert!(wire_bytes(p, mps) >= p);
         }
+    }
 
-        #[test]
-        fn prop_overhead_fraction_bounded(p in 1u64..1 << 24) {
-            // With MPS 256, overhead is at most 24/1 per TLP but relative
-            // overhead for multi-TLP payloads is bounded by 24/256 + slack.
+    #[test]
+    fn prop_overhead_fraction_bounded() {
+        // With MPS 256, overhead is at most 24/1 per TLP but relative
+        // overhead for multi-TLP payloads is bounded by 24/256 + slack.
+        let mut r = SimRng::seed(0x91e2);
+        for _ in 0..256 {
+            let p = 1 + r.below((1 << 24) - 1);
             let w = wire_bytes(p, DEFAULT_MPS);
-            prop_assert!(w <= p + (p.div_ceil(DEFAULT_MPS)) * TLP_OVERHEAD_BYTES);
+            assert!(w <= p + (p.div_ceil(DEFAULT_MPS)) * TLP_OVERHEAD_BYTES);
         }
     }
 }

@@ -1,0 +1,281 @@
+//! Deterministic fault injection: time-ordered schedules of hardware faults.
+//!
+//! Robustness experiments drive the simulated machine through PCIe link
+//! flaps, physical-function failures, and lost interrupts. All faults are
+//! declared up front in a [`FaultPlan`] — a time-ordered list of
+//! [`FaultEvent`]s installed at experiment build time — so a run is exactly
+//! as deterministic with faults as without: same seed + same plan ⇒
+//! identical event sequence and identical counters.
+//!
+//! The plan speaks in raw PF indices (`usize`) rather than `pcie::PfId`
+//! because `simcore` sits below the device crates; the experiment layer maps
+//! indices to concrete endpoints when it applies each event.
+
+use crate::rng::SimRng;
+use crate::time::{Dur, Time};
+
+/// What goes wrong (or comes back) at a fault instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The PCIe link behind the PF drops entirely: every in-flight and
+    /// future transaction on it is lost until the link recovers.
+    LinkDown,
+    /// The link retrains to `lanes` lanes at generation `gen` (3 or 4):
+    /// DMA transparently slows down, nothing is lost.
+    LinkDegrade {
+        /// Post-retrain lane count (1, 2, 4, 8, 16).
+        lanes: u8,
+        /// Post-retrain PCIe generation: 3 or 4.
+        gen: u8,
+    },
+    /// The link retrains back to its configured width and speed.
+    LinkRecover,
+    /// The physical function fails: its queues die, in-flight descriptors
+    /// complete with error status, and flows must fail over to a surviving
+    /// PF.
+    PfFail,
+    /// The physical function comes back after a function-level reset.
+    PfRecover,
+    /// One interrupt from this PF's queues is silently lost; the driver's
+    /// watchdog must notice and recover.
+    IrqLoss,
+}
+
+/// One scheduled fault: `kind` applied to PF index `pf` at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: Time,
+    /// Which physical function (raw index into the experiment's PF list).
+    pub pf: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered schedule of fault events.
+///
+/// Events inserted out of order are sorted on insertion (stable for equal
+/// times: insertion order is preserved), so iteration via [`pop_due`]
+/// (FaultPlan::pop_due) always yields events in firing order regardless of
+/// how the plan was built.
+///
+/// # Example
+/// ```
+/// use simcore::{FaultKind, FaultPlan, Time};
+///
+/// let mut plan = FaultPlan::new();
+/// plan.push(Time::from_ms(4), 0, FaultKind::PfFail);
+/// plan.push(Time::from_ms(7), 0, FaultKind::PfRecover);
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.next_at(), Some(Time::from_ms(4)));
+/// let due = plan.pop_due(Time::from_ms(5));
+/// assert_eq!(due.len(), 1);
+/// assert_eq!(due[0].kind, FaultKind::PfFail);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults: the baseline healthy run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` on PF `pf` at `at`, keeping the plan time-sorted.
+    ///
+    /// # Panics
+    /// Panics if events before `at` have already been popped — a plan is
+    /// installed before the run starts, not mutated mid-flight.
+    pub fn push(&mut self, at: Time, pf: usize, kind: FaultKind) {
+        assert!(
+            self.cursor == 0,
+            "fault plans are fixed before the run starts"
+        );
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, pf, kind });
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, at: Time, pf: usize, kind: FaultKind) -> Self {
+        self.push(at, pf, kind);
+        self
+    }
+
+    /// A PF outage window: `PfFail` at `fail_at`, `PfRecover` at
+    /// `recover_at`.
+    ///
+    /// # Panics
+    /// Panics if `recover_at <= fail_at`.
+    pub fn pf_outage(pf: usize, fail_at: Time, recover_at: Time) -> Self {
+        assert!(recover_at > fail_at, "recovery must follow the failure");
+        Self::new()
+            .with(fail_at, pf, FaultKind::PfFail)
+            .with(recover_at, pf, FaultKind::PfRecover)
+    }
+
+    /// A link-quality dip: downtrain at `degrade_at`, retrain to full
+    /// width/speed at `recover_at`.
+    ///
+    /// # Panics
+    /// Panics if `recover_at <= degrade_at`.
+    pub fn link_dip(pf: usize, degrade_at: Time, recover_at: Time, lanes: u8, gen: u8) -> Self {
+        assert!(recover_at > degrade_at, "recovery must follow the degrade");
+        Self::new()
+            .with(degrade_at, pf, FaultKind::LinkDegrade { lanes, gen })
+            .with(recover_at, pf, FaultKind::LinkRecover)
+    }
+
+    /// A randomized plan drawn from `rng`: `count` faults uniformly spread
+    /// over `(0, horizon)`, each targeting a uniformly random PF in
+    /// `0..pf_count` with a uniformly random kind. Deterministic for a given
+    /// RNG state — used by soak tests to show no plan can panic the stack.
+    ///
+    /// # Panics
+    /// Panics if `pf_count` is zero or `horizon` is zero.
+    pub fn randomized(rng: &mut SimRng, horizon: Dur, pf_count: usize, count: usize) -> Self {
+        assert!(pf_count > 0, "need at least one PF to target");
+        assert!(horizon > Dur::ZERO, "horizon must be positive");
+        let mut plan = Self::new();
+        for _ in 0..count {
+            let at = Time::ZERO + Dur::from_ps(1 + rng.below(horizon.as_ps().max(2) - 1));
+            let pf = rng.below(pf_count as u64) as usize;
+            let kind = match rng.below(6) {
+                0 => FaultKind::LinkDown,
+                1 => FaultKind::LinkDegrade {
+                    lanes: *rng.pick(&[1u8, 2, 4, 8]),
+                    gen: 3,
+                },
+                2 => FaultKind::LinkRecover,
+                3 => FaultKind::PfFail,
+                4 => FaultKind::PfRecover,
+                _ => FaultKind::IrqLoss,
+            };
+            plan.push(at, pf, kind);
+        }
+        plan
+    }
+
+    /// Total number of events in the plan (including already-popped ones).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events not yet popped.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// The firing time of the next un-popped event, if any. Event loops use
+    /// this to schedule their next fault dispatch.
+    pub fn next_at(&self) -> Option<Time> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Pops every event with `at <= now`, in firing order.
+    pub fn pop_due(&mut self, now: Time) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// All events, in firing order, without consuming them.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Rewinds the pop cursor so the same plan can drive a second run
+    /// (determinism tests replay one plan twice).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order() {
+        let mut p = FaultPlan::new();
+        p.push(Time::from_ms(5), 0, FaultKind::LinkRecover);
+        p.push(Time::from_ms(1), 1, FaultKind::LinkDown);
+        p.push(Time::from_ms(3), 0, FaultKind::IrqLoss);
+        let ats: Vec<_> = p.events().iter().map(|e| e.at).collect();
+        assert_eq!(
+            ats,
+            vec![Time::from_ms(1), Time::from_ms(3), Time::from_ms(5)]
+        );
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order() {
+        let mut p = FaultPlan::new();
+        p.push(Time::from_ms(2), 0, FaultKind::PfFail);
+        p.push(Time::from_ms(2), 1, FaultKind::PfFail);
+        assert_eq!(p.events()[0].pf, 0);
+        assert_eq!(p.events()[1].pf, 1);
+    }
+
+    #[test]
+    fn pop_due_consumes_in_order() {
+        let mut p = FaultPlan::pf_outage(0, Time::from_ms(2), Time::from_ms(6));
+        assert_eq!(p.remaining(), 2);
+        assert!(p.pop_due(Time::from_ms(1)).is_empty());
+        let due = p.pop_due(Time::from_ms(2));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::PfFail);
+        assert_eq!(p.next_at(), Some(Time::from_ms(6)));
+        let due = p.pop_due(Time::from_ms(10));
+        assert_eq!(due[0].kind, FaultKind::PfRecover);
+        assert_eq!(p.remaining(), 0);
+        assert_eq!(p.next_at(), None);
+    }
+
+    #[test]
+    fn rewind_replays() {
+        let mut p = FaultPlan::pf_outage(1, Time::from_ms(1), Time::from_ms(2));
+        let first: Vec<_> = p.pop_due(Time::from_ms(9));
+        p.rewind();
+        let second: Vec<_> = p.pop_due(Time::from_ms(9));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed before the run")]
+    fn push_after_pop_rejected() {
+        let mut p = FaultPlan::pf_outage(0, Time::from_ms(1), Time::from_ms(2));
+        p.pop_due(Time::from_ms(1));
+        p.push(Time::from_ms(5), 0, FaultKind::IrqLoss);
+    }
+
+    #[test]
+    fn randomized_is_deterministic_and_sorted() {
+        let mut r1 = SimRng::seed(0xfa01);
+        let mut r2 = SimRng::seed(0xfa01);
+        let a = FaultPlan::randomized(&mut r1, Dur::from_ms(10), 2, 32);
+        let b = FaultPlan::randomized(&mut r2, Dur::from_ms(10), 2, 32);
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.events().iter().all(|e| e.pf < 2));
+    }
+
+    #[test]
+    fn link_dip_shape() {
+        let p = FaultPlan::link_dip(0, Time::from_ms(1), Time::from_ms(2), 2, 3);
+        assert_eq!(
+            p.events()[0].kind,
+            FaultKind::LinkDegrade { lanes: 2, gen: 3 }
+        );
+        assert_eq!(p.events()[1].kind, FaultKind::LinkRecover);
+    }
+}

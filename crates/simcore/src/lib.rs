@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 pub mod link;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use link::BwLink;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -119,7 +119,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SimRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -176,9 +176,12 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "c");
     }
 
-    proptest! {
-        #[test]
-        fn prop_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+    #[test]
+    fn prop_pops_sorted() {
+        let mut r = SimRng::seed(0x9e1);
+        for _ in 0..32 {
+            let count = r.below(200) as usize;
+            let times: Vec<u64> = (0..count).map(|_| r.below(1_000_000)).collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(Time::from_ps(t), i);
@@ -186,21 +189,25 @@ mod tests {
             let mut last = Time::ZERO;
             let mut n = 0;
             while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
+                assert!(t >= last);
                 last = t;
                 n += 1;
             }
-            prop_assert_eq!(n, times.len());
+            assert_eq!(n, times.len());
         }
+    }
 
-        #[test]
-        fn prop_equal_times_fifo(n in 1usize..200) {
+    #[test]
+    fn prop_equal_times_fifo() {
+        let mut r = SimRng::seed(0x9e2);
+        for _ in 0..16 {
+            let n = 1 + r.below(199) as usize;
             let mut q = EventQueue::new();
             for i in 0..n {
                 q.push(Time::from_ns(42), i);
             }
             for i in 0..n {
-                prop_assert_eq!(q.pop().unwrap().1, i);
+                assert_eq!(q.pop().unwrap().1, i);
             }
         }
     }

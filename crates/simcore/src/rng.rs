@@ -1,12 +1,14 @@
 //! Deterministic randomness for workloads and steering decisions.
 //!
 //! Every stochastic choice in the simulation (memcached key selection,
-//! pktgen flow tuples, RSS hashing noise, …) draws from a [`SimRng`] seeded
-//! from the experiment configuration, so a run replays identically for a
-//! given seed.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! pktgen flow tuples, RSS hashing noise, fault-plan jitter, …) draws from
+//! a [`SimRng`] seeded from the experiment configuration, so a run replays
+//! identically for a given seed.
+//!
+//! The generator is a self-contained xoshiro256** (public domain, Blackman
+//! & Vigna) seeded through SplitMix64 — no external crates, so the
+//! workspace builds hermetically and the stream is stable across toolchain
+//! updates.
 
 /// A small, fast, seedable RNG with convenience draws used across the
 /// workspace.
@@ -20,14 +22,28 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -36,13 +52,21 @@ impl SimRng {
     /// Use distinct tags for independent stochastic processes so adding draws
     /// to one process does not perturb another.
     pub fn fork(&mut self, tag: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed(s)
     }
 
     /// A uniform `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// A uniform value in `[0, bound)`.
@@ -51,12 +75,20 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift rejection method: unbiased.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p`.
@@ -65,7 +97,7 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Picks a uniformly random element of `slice`.
@@ -80,8 +112,8 @@ impl SimRng {
     /// An exponentially distributed duration-scale value with the given mean
     /// (used for Poisson arrival processes).
     pub fn exp_mean(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        // 1 - unit() is in (0, 1], so ln never sees zero.
+        -mean * (1.0 - self.unit()).ln()
     }
 }
 
@@ -111,6 +143,15 @@ mod tests {
         let mut r = SimRng::seed(3);
         for _ in 0..1000 {
             assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::seed(11);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

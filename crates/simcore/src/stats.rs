@@ -227,7 +227,7 @@ impl BusyMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SimRng;
 
     #[test]
     fn rate_meter_basic() {
@@ -305,27 +305,34 @@ mod tests {
         assert_eq!(b.busy_time(), Dur::ZERO);
     }
 
-    proptest! {
-        #[test]
-        fn prop_percentile_monotone(mut ns in proptest::collection::vec(1u64..1_000_000, 1..100),
-                                    p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+    #[test]
+    fn prop_percentile_monotone() {
+        let mut r = SimRng::seed(0x57a7);
+        for _ in 0..64 {
+            let n = 1 + r.below(99) as usize;
             let mut h = Histogram::new();
-            for v in ns.drain(..) {
-                h.record(Dur::from_ns(v));
+            for _ in 0..n {
+                h.record(Dur::from_ns(1 + r.below(999_999)));
             }
+            let p1 = r.unit() * 100.0;
+            let p2 = r.unit() * 100.0;
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-            prop_assert!(h.percentile(lo).unwrap() <= h.percentile(hi).unwrap());
+            assert!(h.percentile(lo).unwrap() <= h.percentile(hi).unwrap());
         }
+    }
 
-        #[test]
-        fn prop_mean_within_min_max(ns in proptest::collection::vec(1u64..1_000_000, 1..100)) {
+    #[test]
+    fn prop_mean_within_min_max() {
+        let mut r = SimRng::seed(0x57a8);
+        for _ in 0..64 {
+            let n = 1 + r.below(99) as usize;
             let mut h = Histogram::new();
-            for &v in &ns {
-                h.record(Dur::from_ns(v));
+            for _ in 0..n {
+                h.record(Dur::from_ns(1 + r.below(999_999)));
             }
             let mean = h.mean().unwrap();
-            prop_assert!(mean >= h.min().unwrap());
-            prop_assert!(mean <= h.max().unwrap());
+            assert!(mean >= h.min().unwrap());
+            assert!(mean <= h.max().unwrap());
         }
     }
 }

@@ -300,7 +300,7 @@ impl fmt::Display for Dur {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SimRng;
 
     #[test]
     fn constructors_round_trip() {
@@ -377,28 +377,38 @@ mod tests {
         assert_eq!(Dur::from_ns(1).max(Dur::from_ns(2)), Dur::from_ns(2));
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_sub_inverse(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-            let time = Time::from_ps(t);
-            let dur = Dur::from_ps(d);
-            prop_assert_eq!((time + dur) - dur, time);
-            prop_assert_eq!((time + dur) - time, dur);
+    #[test]
+    fn prop_add_sub_inverse() {
+        let mut r = SimRng::seed(0x71ae);
+        for _ in 0..256 {
+            let time = Time::from_ps(r.below(u64::MAX / 4));
+            let dur = Dur::from_ps(r.below(u64::MAX / 4));
+            assert_eq!((time + dur) - dur, time);
+            assert_eq!((time + dur) - time, dur);
         }
+    }
 
-        #[test]
-        fn prop_for_bytes_monotone_in_bytes(b1 in 0u64..1 << 32, b2 in 0u64..1 << 32,
-                                            bw in 1u64..100_000_000_000u64) {
+    #[test]
+    fn prop_for_bytes_monotone_in_bytes() {
+        let mut r = SimRng::seed(0x71af);
+        for _ in 0..256 {
+            let b1 = r.below(1 << 32);
+            let b2 = r.below(1 << 32);
+            let bw = 1 + r.below(100_000_000_000 - 1);
             let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
-            prop_assert!(Dur::for_bytes(lo, bw) <= Dur::for_bytes(hi, bw));
+            assert!(Dur::for_bytes(lo, bw) <= Dur::for_bytes(hi, bw));
         }
+    }
 
-        #[test]
-        fn prop_for_bytes_antitone_in_bandwidth(bytes in 1u64..1 << 32,
-                                                bw1 in 1u64..100_000_000_000u64,
-                                                bw2 in 1u64..100_000_000_000u64) {
+    #[test]
+    fn prop_for_bytes_antitone_in_bandwidth() {
+        let mut r = SimRng::seed(0x71b0);
+        for _ in 0..256 {
+            let bytes = 1 + r.below((1 << 32) - 1);
+            let bw1 = 1 + r.below(100_000_000_000 - 1);
+            let bw2 = 1 + r.below(100_000_000_000 - 1);
             let (slow, fast) = if bw1 <= bw2 { (bw1, bw2) } else { (bw2, bw1) };
-            prop_assert!(Dur::for_bytes(bytes, fast) <= Dur::for_bytes(bytes, slow));
+            assert!(Dur::for_bytes(bytes, fast) <= Dur::for_bytes(bytes, slow));
         }
     }
 }

@@ -141,14 +141,22 @@ fn pcie_switch_adds_latency_but_not_bandwidth_cost() {
     let d = direct.add_endpoint(NodeId(0), PcieGen::Gen3, 8);
     let s = switched.add_endpoint(NodeId(0), PcieGen::Gen3, 8);
     let buf = mem.alloc(NodeId(0), 1 << 20);
-    let wd = direct.dma_write(Time::ZERO, d, &mut mem, buf, 1448);
-    let ws = switched.dma_write(Time::ZERO, s, &mut mem, buf.offset(4096), 1448);
+    let wd = direct
+        .dma_write(Time::ZERO, d, &mut mem, buf, 1448)
+        .expect("healthy link");
+    let ws = switched
+        .dma_write(Time::ZERO, s, &mut mem, buf.offset(4096), 1448)
+        .expect("healthy link");
     assert_eq!(ws - wd, Dur::from_ns(150), "one switch hop per write");
     // Reads pay the hop per traversal leg (request + completion); the two
     // fabrics share one memory system, so allow the second read's small
     // DRAM-queueing residue.
-    let rd = direct.dma_read(Time::from_us(5), d, &mut mem, buf.offset(8192), 1448);
-    let rs = switched.dma_read(Time::from_us(5), s, &mut mem, buf.offset(12288), 1448);
+    let rd = direct
+        .dma_read(Time::from_us(5), d, &mut mem, buf.offset(8192), 1448)
+        .expect("healthy link");
+    let rs = switched
+        .dma_read(Time::from_us(5), s, &mut mem, buf.offset(12288), 1448)
+        .expect("healthy link");
     let delta = rs - rd;
     assert!(
         delta >= Dur::from_ns(295) && delta <= Dur::from_ns(330),

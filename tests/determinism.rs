@@ -3,7 +3,7 @@
 //! rests on.
 
 use ioctopus::config::Placement;
-use ioctopus::experiments::{memcached, nvme_fio, pktgen, tcp_rr, tcp_stream};
+use ioctopus::experiments::{failover, memcached, nvme_fio, pktgen, tcp_rr, tcp_stream};
 
 #[test]
 fn tcp_stream_is_deterministic() {
@@ -34,6 +34,25 @@ fn memcached_is_deterministic_per_seed() {
     let a = memcached::run(Placement::Octopus, 0.3, 6);
     let b = memcached::run(Placement::Octopus, 0.3, 6);
     assert_eq!(a.rate_per_sec.to_bits(), b.rate_per_sec.to_bits());
+}
+
+#[test]
+fn failover_is_deterministic() {
+    // Fault injection must not cost reproducibility: the plan's events run
+    // through the same queue as everything else, so two identical runs
+    // produce bit-identical per-PF rate curves and recovery counters.
+    let a = failover::run(true);
+    let b = failover::run(true);
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (sa, sb) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(sa.t_secs.to_bits(), sb.t_secs.to_bits());
+        assert_eq!(sa.pf0_gbps.to_bits(), sb.pf0_gbps.to_bits());
+        assert_eq!(sa.pf1_gbps.to_bits(), sb.pf1_gbps.to_bits());
+    }
+    assert_eq!(a.resteered_flows, b.resteered_flows);
+    assert_eq!(a.error_completions, b.error_completions);
+    assert_eq!(a.watchdog_recoveries, b.watchdog_recoveries);
+    assert_eq!(a.consumed, b.consumed);
 }
 
 #[test]

@@ -6,7 +6,7 @@ use ioctopus::config::{BuildOpts, Placement};
 use ioctopus::system::build_duplex;
 use kernel::{HostOut, NetdevId, RecvOutcome, SendOutcome};
 use nic::FlowTuple;
-use simcore::{Dur, Time};
+use simcore::{Dur, FaultKind, Time};
 
 #[test]
 fn rx_ring_exhaustion_drops_and_recovers() {
@@ -140,4 +140,144 @@ fn sendfile_zero_copy_accounting_and_backpressure() {
         }
     }
     assert!(blocked, "sendfile honours the sndbuf too");
+}
+
+#[test]
+fn pf_failure_mid_stream_keeps_delivering() {
+    // octoNIC firmware: when the flow's home PF dies mid-stream, MPFS
+    // resteers the rule to the survivor and not a byte is lost.
+    let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+    let th = duplex.server.spawn_thread(0); // node 0 → home PF is PF0
+    let flow = FlowTuple::tcp(0x0A00_0001, 904, 0x0A00_0002, 80);
+    let sock = duplex.server.open_socket(Time::ZERO, th, flow, NetdevId(0));
+    // One healthy packet, then PF0 dies, then the stream keeps coming.
+    let outs = duplex.server.wire_arrival(Time::from_us(10), flow, 1448, 0);
+    assert!(!outs.is_empty(), "healthy path delivers");
+    for o in &outs {
+        if let HostOut::Irq { at, queue } = o {
+            duplex.server.irq(*at, *queue);
+        }
+    }
+    let pf0 = duplex.server_pfs[0];
+    duplex
+        .server
+        .apply_fault(Time::from_us(50), pf0, FaultKind::PfFail);
+    assert!(
+        duplex.server.nic.counters().resteered_flows >= 1,
+        "firmware moved the flow to the survivor"
+    );
+    for seq in 1..20u64 {
+        let outs = duplex
+            .server
+            .wire_arrival(Time::from_us(50 + seq * 10), flow, 1448, seq);
+        for o in &outs {
+            if let HostOut::Irq { at, queue } = o {
+                duplex.server.irq(*at, *queue);
+            }
+        }
+    }
+    // Sweep every queue (the survivor's queue index is a firmware detail)
+    // and drain the socket: all 20 packets arrived.
+    for qi in 0..duplex.server.nic.queue_count() {
+        duplex.server.irq(Time::from_ms(1), nic::QueueId(qi));
+    }
+    match duplex.server.recv(Time::from_ms(2), sock, u64::MAX) {
+        RecvOutcome::Data { bytes, .. } => {
+            assert_eq!(bytes, 20 * 1448, "every packet delivered")
+        }
+        RecvOutcome::WouldBlock => panic!("stream must survive the PF death"),
+    }
+    assert_eq!(duplex.server.nic.counters().dropped_pf_dead, 0);
+}
+
+#[test]
+fn link_degrade_slows_dma_but_loses_nothing() {
+    // A retrained (narrower/slower) link stretches the DMA+MSI-X path —
+    // the interrupt for an identical packet fires later — but every byte
+    // still reaches the application.
+    let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+    let th = duplex.server.spawn_thread(0);
+    let flow = FlowTuple::tcp(0x0A00_0001, 905, 0x0A00_0002, 80);
+    let sock = duplex.server.open_socket(Time::ZERO, th, flow, NetdevId(0));
+    let irq_delta = |outs: &[HostOut], sent: Time| -> Dur {
+        outs.iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, .. } => Some(at.since(sent)),
+                _ => None,
+            })
+            .expect("arrival raises an interrupt")
+    };
+    let t1 = Time::from_us(10);
+    let outs = duplex.server.wire_arrival(t1, flow, 1448, 0);
+    let healthy = irq_delta(&outs, t1);
+    for o in &outs {
+        if let HostOut::Irq { at, queue } = o {
+            duplex.server.irq(*at, *queue);
+        }
+    }
+    // Gen3 x4 ≈ 1/8th of the healthy link; retraining stalls 20 us, long
+    // over by the next arrival.
+    let pf0 = duplex.server_pfs[0];
+    duplex.server.apply_fault(
+        Time::from_us(100),
+        pf0,
+        FaultKind::LinkDegrade { lanes: 4, gen: 3 },
+    );
+    let t2 = Time::from_us(500);
+    let outs = duplex.server.wire_arrival(t2, flow, 1448, 1);
+    let degraded = irq_delta(&outs, t2);
+    for o in &outs {
+        if let HostOut::Irq { at, queue } = o {
+            duplex.server.irq(*at, *queue);
+        }
+    }
+    assert!(
+        degraded > healthy,
+        "degraded link is slower per byte: {healthy:?} -> {degraded:?}"
+    );
+    match duplex.server.recv(Time::from_ms(1), sock, u64::MAX) {
+        RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 2 * 1448, "no data lost"),
+        RecvOutcome::WouldBlock => panic!("degradation must not drop data"),
+    }
+}
+
+#[test]
+fn lost_interrupt_recovers_via_watchdog() {
+    // A swallowed MSI-X leaves the completion sitting in host memory; the
+    // driver watchdog notices the stale landing and polls the queue.
+    let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+    let th = duplex.server.spawn_thread(0);
+    let flow = FlowTuple::tcp(0x0A00_0001, 906, 0x0A00_0002, 80);
+    let sock = duplex.server.open_socket(Time::ZERO, th, flow, NetdevId(0));
+    let pf0 = duplex.server_pfs[0];
+    duplex
+        .server
+        .apply_fault(Time::from_us(5), pf0, FaultKind::IrqLoss);
+    let outs = duplex.server.wire_arrival(Time::from_us(10), flow, 1448, 0);
+    assert!(
+        !outs.iter().any(|o| matches!(o, HostOut::Irq { .. })),
+        "the MSI-X was swallowed"
+    );
+    assert!(duplex.server.nic.counters().lost_irqs >= 1);
+    // Without the interrupt nothing reaches the socket.
+    assert!(matches!(
+        duplex.server.recv(Time::from_us(50), sock, u64::MAX),
+        RecvOutcome::WouldBlock
+    ));
+    // The watchdog (timeout 100 us) fires well past the landing and
+    // synthesizes the missed interrupt.
+    let outs = duplex.server.watchdog(Time::from_us(250));
+    let mut polled = false;
+    for o in &outs {
+        if let HostOut::Irq { at, queue } = o {
+            duplex.server.irq(*at, *queue);
+            polled = true;
+        }
+    }
+    assert!(polled, "watchdog polls the stale queue");
+    assert!(duplex.server.robustness().watchdog_irq_recoveries >= 1);
+    match duplex.server.recv(Time::from_us(300), sock, u64::MAX) {
+        RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+        RecvOutcome::WouldBlock => panic!("watchdog recovery must deliver the data"),
+    }
 }
