@@ -70,8 +70,9 @@ fn main() {
         "Ablation IOctoSG",
         "Cross-node scatter-gather payloads: interconnect bytes with and without PF hints",
     );
-    let without = run(false);
-    let with = run(true);
+    let mut points = ioctopus::sweep::sweep(vec![false, true], run);
+    let with = points.pop().expect("two points");
+    let without = points.pop().expect("two points");
     println!(
         "without hints: {:>12.0} interconnect bytes (half of every packet crosses)",
         without

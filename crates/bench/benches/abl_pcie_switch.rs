@@ -17,7 +17,7 @@ fn main() {
         "{:>12} | {:>12} {:>12}",
         "switch[ns]", "write[ns]", "read[ns]"
     );
-    for sw_ns in [0u64, 60, 120, 250] {
+    let points = ioctopus::sweep::sweep(vec![0u64, 60, 120, 250], |sw_ns| {
         let mut mem = MemSystem::new(MemConfig::dual_socket_broadwell());
         let mut fab = PcieFabric::new(FabricConfig {
             switch_latency: Dur::from_ns(sw_ns),
@@ -29,6 +29,9 @@ fn main() {
         let r = fab
             .dma_read(Time::from_us(10), pf, &mut mem, buf.offset(4096), 1448)
             .unwrap();
+        (sw_ns, w, r)
+    });
+    for (sw_ns, w, r) in points {
         println!("{:>12} | {:>12.0} {:>12.0}", sw_ns, w.as_ns(), r.as_ns());
     }
     println!("\nstatic bifurcation (switch=0) is the paper's prototype choice; a switch");

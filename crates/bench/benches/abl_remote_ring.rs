@@ -13,8 +13,11 @@ fn main() {
         "Ablation §2.4",
         "pktgen with the completion ring placed local to the (remote) device",
     );
-    let normal = pktgen::run(Placement::Remote, 64, 8, false);
-    let devring = pktgen::run(Placement::Remote, 64, 8, true);
+    let mut points = ioctopus::sweep::sweep(vec![false, true], |device_local| {
+        pktgen::run(Placement::Remote, 64, 8, device_local)
+    });
+    let devring = points.pop().expect("two points");
+    let normal = points.pop().expect("two points");
     let imp = devring.rate_per_sec / normal.rate_per_sec;
     println!(
         "remote, CPU-local CQ:    {:.3} Mpps",

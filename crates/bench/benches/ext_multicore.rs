@@ -15,10 +15,13 @@ fn main() {
         "inst", "local[Gb/s]", "rem[Gb/s]", "octo[Gb/s]", "l-mem", "r-mem", "o-mem"
     );
     let mut last = (0.0, 0.0);
-    for n in [1usize, 4, 8, 13] {
+    let points = ioctopus::sweep::sweep(vec![1usize, 4, 8, 13], |n| {
         let l = multicore::run_rx(Placement::Local, n, 6);
         let r = multicore::run_rx(Placement::Remote, n, 6);
         let o = multicore::run_rx(Placement::Octopus, n, 6);
+        (n, l, r, o)
+    });
+    for (n, l, r, o) in points {
         println!(
             "{:>5} | {:>11.1} {:>11.1} {:>11.1} | {:>9.1} {:>9.1} {:>9.1}",
             n,

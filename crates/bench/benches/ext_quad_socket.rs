@@ -100,8 +100,9 @@ fn main() {
         "Extension: 4-socket octoNIC",
         "One flow per socket, per-node x4 endpoints (800 packets total)",
     );
-    let (ic_single, dram_single) = run(false);
-    let (ic_octo, dram_octo) = run(true);
+    let mut points = ioctopus::sweep::sweep(vec![false, true], run);
+    let (ic_octo, dram_octo) = points.pop().expect("two points");
+    let (ic_single, dram_single) = points.pop().expect("two points");
     println!(
         "{:>22} | {:>16} | {:>16}",
         "config", "interconnect [B]", "DRAM [B]"

@@ -62,10 +62,11 @@ fn main() {
         "Extension: IOctoSG",
         "Zero-copy sendfile of a file whose pages interleave across both NUMA nodes",
     );
-    // Standard driver on node 0 / PF0: node-1 pages cross the QPI.
-    let (tput_std, qpi_std) = run(Placement::Local);
-    // Octo team driver: per-fragment PF hints keep every page-fetch local.
-    let (tput_octo, qpi_octo) = run(Placement::Octopus);
+    // Standard driver on node 0 / PF0 vs the octo team driver, whose
+    // per-fragment PF hints keep every page-fetch local.
+    let mut points = ioctopus::sweep::sweep(vec![Placement::Local, Placement::Octopus], run);
+    let (tput_octo, qpi_octo) = points.pop().expect("two points");
+    let (tput_std, qpi_std) = points.pop().expect("two points");
     println!(
         "{:>22} | {:>12} | {:>18}",
         "config", "tput [Gb/s]", "interconnect [B]"

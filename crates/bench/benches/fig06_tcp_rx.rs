@@ -17,9 +17,12 @@ fn main() {
     );
     let mut ratios = Vec::new();
     let mut rows = Vec::new();
-    for msg in StreamConfig::paper_msg_sizes() {
+    let points = ioctopus::sweep::sweep(StreamConfig::paper_msg_sizes(), |msg| {
         let l = tcp_stream::run_rx(Placement::Octopus, msg, 8);
         let r = tcp_stream::run_rx(Placement::Remote, msg, 8);
+        (msg, l, r)
+    });
+    for (msg, l, r) in points {
         let ratio = l.throughput_gbps / r.throughput_gbps;
         ratios.push((msg, ratio));
         rows.push(l.clone());

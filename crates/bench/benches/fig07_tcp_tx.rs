@@ -17,9 +17,12 @@ fn main() {
     );
     let mut last = None;
     let mut rows = Vec::new();
-    for msg in StreamConfig::paper_msg_sizes() {
+    let points = ioctopus::sweep::sweep(StreamConfig::paper_msg_sizes(), |msg| {
         let l = tcp_stream::run_tx(Placement::Octopus, msg, 8);
         let r = tcp_stream::run_tx(Placement::Remote, msg, 8);
+        (msg, l, r)
+    });
+    for (msg, l, r) in points {
         println!(
             "{:>8} | {:>10.2} {:>10.2} {:>6.2}x | {:>10.2} {:>10.2} {:>6.2}x",
             msg,

@@ -16,9 +16,12 @@ fn main() {
     );
     let mut delta_ns = 0.0;
     let mut rows = Vec::new();
-    for pkt in [64u64, 128, 256, 512, 1024, 1500] {
+    let points = ioctopus::sweep::sweep(vec![64u64, 128, 256, 512, 1024, 1500], |pkt| {
         let l = pktgen::run(Placement::Octopus, pkt, 6, false);
         let r = pktgen::run(Placement::Remote, pkt, 6, false);
+        (pkt, l, r)
+    });
+    for (pkt, l, r) in points {
         rows.push(l.clone());
         rows.push(r.clone());
         if pkt == 64 {

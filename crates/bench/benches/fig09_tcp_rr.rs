@@ -16,10 +16,13 @@ fn main() {
     );
     let mut worst = 1.0f64;
     let mut rows = Vec::new();
-    for msg in RrSizes::paper_msg_sizes() {
+    let points = ioctopus::sweep::sweep(RrSizes::paper_msg_sizes(), |msg| {
         let ll = tcp_rr::run(RrConfig::Ll, msg, 60);
         let rr = tcp_rr::run(RrConfig::Rr, msg, 60);
         let nd = tcp_rr::run(RrConfig::Llnd, msg, 60);
+        (msg, ll, rr, nd)
+    });
+    for (msg, ll, rr, nd) in points {
         rows.push(ll.clone());
         rows.push(rr.clone());
         rows.push(nd.clone());

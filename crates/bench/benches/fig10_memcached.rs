@@ -16,10 +16,13 @@ fn main() {
     );
     let mut gains = Vec::new();
     let mut rows = Vec::new();
-    for set_pct in [0, 25, 50, 75, 100] {
+    let points = ioctopus::sweep::sweep(vec![0, 25, 50, 75, 100], |set_pct| {
         let ratio = set_pct as f64 / 100.0;
         let l = memcached::run(Placement::Octopus, ratio, 12);
         let r = memcached::run(Placement::Remote, ratio, 12);
+        (set_pct, l, r)
+    });
+    for (set_pct, l, r) in points {
         let gain = l.rate_per_sec / r.rate_per_sec;
         gains.push(gain);
         rows.push(l.clone());

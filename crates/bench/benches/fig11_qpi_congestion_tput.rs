@@ -16,9 +16,12 @@ fn main() {
     );
     let mut best = 0.0f64;
     let mut rows = Vec::new();
-    for pairs in 1..=6 {
+    let points = ioctopus::sweep::sweep((1..=6).collect::<Vec<_>>(), |pairs| {
         let l = congestion::run_fig11(Placement::Octopus, pairs, 10);
         let r = congestion::run_fig11(Placement::Remote, pairs, 10);
+        (pairs, l, r)
+    });
+    for (pairs, l, r) in points {
         let ratio = l.throughput_gbps / r.throughput_gbps;
         best = best.max(ratio);
         rows.push(l.clone());

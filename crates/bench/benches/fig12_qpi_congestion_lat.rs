@@ -16,9 +16,12 @@ fn main() {
     );
     let mut improvements = Vec::new();
     let mut rows = Vec::new();
-    for pairs in 1..=6 {
+    let points = ioctopus::sweep::sweep((1..=6).collect::<Vec<_>>(), |pairs| {
         let l = congestion::run_fig12(Placement::Octopus, pairs, 60);
         let r = congestion::run_fig12(Placement::Remote, pairs, 60);
+        (pairs, l, r)
+    });
+    for (pairs, l, r) in points {
         improvements.push(l.mean_us / r.mean_us);
         rows.push(l.clone());
         rows.push(r.clone());

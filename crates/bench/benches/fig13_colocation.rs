@@ -17,9 +17,12 @@ fn main() {
         "io", "config", "PR time[ms]", "io metric"
     );
     let mut slowdowns = Vec::new();
-    for io in [IoKind::Netperf, IoKind::Memcached] {
+    let points = ioctopus::sweep::sweep(vec![IoKind::Netperf, IoKind::Memcached], |io| {
         let l = colocation::run(Placement::Octopus, io, chunks, 400);
         let r = colocation::run(Placement::Remote, io, chunks, 400);
+        (io, l, r)
+    });
+    for (io, l, r) in points {
         slowdowns.push((io, r.pr_time_ms / l.pr_time_ms));
         for (cfg, res) in [("ioct/local", &l), ("remote", &r)] {
             println!(

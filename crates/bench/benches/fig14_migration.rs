@@ -9,8 +9,8 @@ fn main() {
         "Figure 14",
         "Per-PF throughput while netperf migrates CPU0 -> CPU1 at t=4.5 (time scaled 1000x)",
     );
-    for octo in [true, false] {
-        let r = migration::run(octo);
+    let points = ioctopus::sweep::sweep(vec![true, false], migration::run);
+    for (octo, r) in [true, false].into_iter().zip(points) {
         println!("--- {} ---", r.config);
         println!("{:>9} {:>10} {:>10}", "t[s]", "PF0[Gb/s]", "PF1[Gb/s]");
         for s in r.samples.iter().step_by(10) {

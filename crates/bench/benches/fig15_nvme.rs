@@ -15,9 +15,12 @@ fn main() {
     );
     let mut min_norm = 1.0f64;
     let mut rows = Vec::new();
-    for streams in 1..=10 {
+    let points = ioctopus::sweep::sweep((1..=10).collect::<Vec<_>>(), |streams| {
         let r = nvme_fio::run(streams, false, 8);
         let o = nvme_fio::run(streams, true, 8);
+        (streams, r, o)
+    });
+    for (streams, r, o) in points {
         min_norm = min_norm.min(r.fio_normalized);
         rows.push(r.clone());
         println!(

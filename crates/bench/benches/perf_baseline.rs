@@ -1,0 +1,266 @@
+//! Self-profiling perf baseline: times a representative sweep from each
+//! figure family serially and in parallel, and writes the machine-readable
+//! `BENCH_2.json` at the workspace root (consumed by CI and tracked in the
+//! repo as the PR's perf record).
+//!
+//! `--smoke` shrinks every sweep to its cheapest point so CI can run the
+//! whole harness in seconds; the full run uses figure-sized points.
+//!
+//! Serial runs are forced with `IOCTOPUS_THREADS=1` via an env guard around
+//! the timed closure; parallel runs use the machine's available
+//! parallelism. Results are bit-identical either way (the `parallel_sweep`
+//! test enforces it), so the comparison is pure scheduling overhead vs
+//! speedup.
+
+use std::time::Instant;
+
+use ioctopus::config::Placement;
+use ioctopus::experiments::tcp_rr::RrConfig;
+use ioctopus::experiments::{congestion, nvme_fio, pktgen, tcp_rr, tcp_stream};
+use ioctopus::{perf, sweep};
+
+struct Case {
+    name: &'static str,
+    /// Sweep points; each returns a checksum-able f64 so serial/parallel
+    /// agreement is asserted on actual results, not just timing.
+    run: fn(smoke: bool) -> f64,
+}
+
+fn fig06(smoke: bool) -> f64 {
+    let sizes: Vec<u64> = if smoke {
+        vec![256, 65536]
+    } else {
+        vec![256, 1024, 4096, 16384, 65536]
+    };
+    let ms = if smoke { 2 } else { 6 };
+    sweep::sweep(sizes, |msg| {
+        let l = tcp_stream::run_rx(Placement::Octopus, msg, ms);
+        let r = tcp_stream::run_rx(Placement::Remote, msg, ms);
+        l.throughput_gbps + r.throughput_gbps
+    })
+    .iter()
+    .sum()
+}
+
+fn fig07(smoke: bool) -> f64 {
+    let sizes: Vec<u64> = if smoke {
+        vec![256, 65536]
+    } else {
+        vec![256, 1024, 4096, 16384, 65536]
+    };
+    let ms = if smoke { 2 } else { 6 };
+    sweep::sweep(sizes, |msg| {
+        tcp_stream::run_tx(Placement::Octopus, msg, ms).throughput_gbps
+    })
+    .iter()
+    .sum()
+}
+
+fn fig08(smoke: bool) -> f64 {
+    let pkts: Vec<u64> = if smoke {
+        vec![64, 1500]
+    } else {
+        vec![64, 128, 256, 512, 1024, 1500]
+    };
+    let ms = if smoke { 2 } else { 6 };
+    sweep::sweep(pkts, |pkt| {
+        pktgen::run(Placement::Remote, pkt, ms, false).rate_per_sec
+    })
+    .iter()
+    .sum()
+}
+
+fn fig09(smoke: bool) -> f64 {
+    let sizes: Vec<u64> = if smoke {
+        vec![64, 4096]
+    } else {
+        vec![64, 256, 1024, 4096, 16384]
+    };
+    let n = if smoke { 20 } else { 60 };
+    sweep::sweep(sizes, |msg| {
+        tcp_rr::run(RrConfig::Ll, msg, n).mean_us + tcp_rr::run(RrConfig::Rr, msg, n).mean_us
+    })
+    .iter()
+    .sum()
+}
+
+fn fig11(smoke: bool) -> f64 {
+    let pairs: Vec<usize> = if smoke { vec![1, 4] } else { (1..=6).collect() };
+    let ms = if smoke { 3 } else { 10 };
+    sweep::sweep(pairs, |p| {
+        congestion::run_fig11(Placement::Remote, p, ms).throughput_gbps
+    })
+    .iter()
+    .sum()
+}
+
+fn fig15(smoke: bool) -> f64 {
+    let streams: Vec<usize> = if smoke { vec![1, 4] } else { (1..=8).collect() };
+    let ms = if smoke { 3 } else { 8 };
+    sweep::sweep(streams, |s| nvme_fio::run(s, false, ms).fio_normalized)
+        .iter()
+        .sum()
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "fig06_tcp_rx",
+        run: fig06,
+    },
+    Case {
+        name: "fig07_tcp_tx",
+        run: fig07,
+    },
+    Case {
+        name: "fig08_pktgen",
+        run: fig08,
+    },
+    Case {
+        name: "fig09_tcp_rr",
+        run: fig09,
+    },
+    Case {
+        name: "fig11_congestion",
+        run: fig11,
+    },
+    Case {
+        name: "fig15_nvme",
+        run: fig15,
+    },
+];
+
+struct Row {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+    events: u64,
+    checksum_match: bool,
+}
+
+/// Runs `f` with `IOCTOPUS_THREADS` pinned to `threads`, restoring the
+/// previous value afterwards.
+fn with_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    let key = simcore::pool::THREADS_ENV;
+    let prev = std::env::var(key).ok();
+    // Single-threaded harness: no concurrent reader of this env var exists
+    // while we swap it (sweeps only read it at fan-out time, inside `f`).
+    match threads {
+        Some(n) => std::env::set_var(key, n.to_string()),
+        None => std::env::remove_var(key),
+    }
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[Row], smoke: bool, threads: usize) -> Option<std::path::PathBuf> {
+    let mut root = std::env::current_dir().ok()?;
+    while !root.join("Cargo.lock").exists() {
+        if !root.pop() {
+            root = std::env::current_dir().ok()?;
+            break;
+        }
+    }
+    let path = root.join("BENCH_2.json");
+    let mut j = String::from("{\n");
+    j.push_str(&format!("  \"smoke\": {smoke},\n"));
+    j.push_str(&format!("  \"threads\": {threads},\n"));
+    let total_serial: f64 = rows.iter().map(|r| r.serial_s).sum();
+    let total_parallel: f64 = rows.iter().map(|r| r.parallel_s).sum();
+    j.push_str(&format!("  \"total_serial_s\": {total_serial:.3},\n"));
+    j.push_str(&format!("  \"total_parallel_s\": {total_parallel:.3},\n"));
+    j.push_str(&format!(
+        "  \"speedup\": {:.3},\n",
+        total_serial / total_parallel.max(1e-9)
+    ));
+    j.push_str("  \"figures\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}, \
+             \"serial_parallel_match\": {}}}{}\n",
+            json_escape(r.name),
+            r.serial_s,
+            r.parallel_s,
+            r.events,
+            r.events as f64 / r.parallel_s.max(1e-9),
+            r.serial_s / r.parallel_s.max(1e-9),
+            r.checksum_match,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&path, j).ok()?;
+    Some(path)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let t0 = Instant::now();
+    bench::header(
+        "perf_baseline",
+        if smoke {
+            "self-profiling sweep baseline (smoke points)"
+        } else {
+            "self-profiling sweep baseline (figure-sized points)"
+        },
+    );
+    let threads = simcore::pool::worker_count(usize::MAX);
+    println!(
+        "{:>18} | {:>9} | {:>10} | {:>8} | {:>12} | {:>7}",
+        "figure", "serial[s]", "parallel[s]", "speedup", "events", "match"
+    );
+    let mut rows = Vec::new();
+    for c in CASES {
+        let _ = perf::take_events();
+        let s0 = Instant::now();
+        let serial_sum = with_threads(Some(1), || (c.run)(smoke));
+        let serial_s = s0.elapsed().as_secs_f64();
+        let _ = perf::take_events();
+
+        let p0 = Instant::now();
+        let parallel_sum = (c.run)(smoke);
+        let parallel_s = p0.elapsed().as_secs_f64();
+        let events = perf::take_events();
+
+        let checksum_match = serial_sum.to_bits() == parallel_sum.to_bits();
+        println!(
+            "{:>18} | {:>9.2} | {:>10.2} | {:>7.2}x | {:>12} | {:>7}",
+            c.name,
+            serial_s,
+            parallel_s,
+            serial_s / parallel_s.max(1e-9),
+            events,
+            checksum_match,
+        );
+        assert!(
+            checksum_match,
+            "{}: serial and parallel sweeps disagree",
+            c.name
+        );
+        rows.push(Row {
+            name: c.name,
+            serial_s,
+            parallel_s,
+            events,
+            checksum_match,
+        });
+    }
+    let total_serial: f64 = rows.iter().map(|r| r.serial_s).sum();
+    let total_parallel: f64 = rows.iter().map(|r| r.parallel_s).sum();
+    println!(
+        "\ntotal: serial {total_serial:.2}s, parallel {total_parallel:.2}s, speedup {:.2}x on {threads} worker(s)",
+        total_serial / total_parallel.max(1e-9)
+    );
+    if let Some(p) = write_json(&rows, smoke, threads) {
+        println!("[json] {}", p.display());
+    }
+    bench::footer(t0);
+}

@@ -17,12 +17,23 @@ pub fn header(fig: &str, caption: &str) {
     println!("==================================================================");
 }
 
-/// Prints the closing footer with wall-clock cost.
+/// Prints the closing footer with wall-clock cost and the self-profiled
+/// event throughput since the header (drains the process-wide counter via
+/// [`ioctopus::perf::take_events`]).
 pub fn footer(started: Instant) {
-    println!(
-        "------------------------------------------------ [{:.1}s wall-clock]\n",
-        started.elapsed().as_secs_f64()
-    );
+    let secs = started.elapsed().as_secs_f64();
+    let events = ioctopus::perf::take_events();
+    if events > 0 && secs > 0.0 {
+        println!(
+            "--------------------- [{:.1}s wall-clock | {:.1}M events | {:.1}M events/s | {} workers]\n",
+            secs,
+            events as f64 / 1e6,
+            events as f64 / 1e6 / secs,
+            simcore::pool::worker_count(usize::MAX),
+        );
+    } else {
+        println!("------------------------------------------------ [{secs:.1}s wall-clock]\n");
+    }
 }
 
 /// Formats a ratio as the paper's `N.NNx` annotations.

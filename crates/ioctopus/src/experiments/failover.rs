@@ -56,6 +56,7 @@ pub fn run(octo: bool) -> FailoverResult {
     nl.install_fault_plan(&plan, WATCHDOG_EVERY);
     nl.start_apps(Time::ZERO);
     nl.run(Time::ZERO + TOTAL);
+    crate::perf::note_events(nl.events_processed());
 
     let consumed = match nl.app(i) {
         App::Rx(a) => a.consumed,

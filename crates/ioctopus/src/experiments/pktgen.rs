@@ -62,7 +62,9 @@ pub fn run(
         assert!(done > t, "pktgen must make progress");
         t = done;
     }
-    let _ = packets;
+    // Each pktgen round is one burst-sized batch of sim work; credit the
+    // packets it pushed as this runner's event count.
+    crate::perf::note_events(packets);
     let bytes = measured * pkt_bytes;
     ThroughputResult {
         config: p.label().to_string(),

@@ -40,6 +40,7 @@ pub fn run_rx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
         _ => unreachable!(),
     };
     nl.run(w.end);
+    crate::perf::note_events(nl.events_processed());
     let consumed = match nl.app(i) {
         App::Rx(a) => a.consumed - base,
         _ => unreachable!(),
@@ -76,6 +77,7 @@ pub fn run_tx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
         _ => unreachable!(),
     };
     nl.run(w.end);
+    crate::perf::note_events(nl.events_processed());
     let consumed = match nl.app(i) {
         App::Tx(a) => a.consumed - base,
         _ => unreachable!(),

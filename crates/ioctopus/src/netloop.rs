@@ -15,7 +15,7 @@
 //! simulated time — which is precisely how the paper's co-location and
 //! congestion figures arise.
 
-use std::collections::HashMap;
+use simcore::FxHashMap;
 
 use kernel::{HostOut, RecvOutcome, SendOutcome, SockId, ThreadId};
 use memsys::{AccessKind, PhysAddr};
@@ -138,8 +138,8 @@ pub struct NetLoop {
     q: EventQueue<Event>,
     router: OutRouter,
     apps: Vec<App>,
-    by_server_thread: HashMap<ThreadId, usize>,
-    by_client_thread: HashMap<ThreadId, usize>,
+    by_server_thread: FxHashMap<ThreadId, usize>,
+    by_client_thread: FxHashMap<ThreadId, usize>,
     /// STREAM antagonists on the server.
     pub antagonists: Vec<StreamAntagonist>,
     /// Optional PageRank victim on the server (Figure 13).
@@ -161,8 +161,8 @@ impl NetLoop {
             q: EventQueue::new(),
             router: OutRouter::new(),
             apps: Vec::new(),
-            by_server_thread: HashMap::new(),
-            by_client_thread: HashMap::new(),
+            by_server_thread: FxHashMap::default(),
+            by_client_thread: FxHashMap::default(),
             antagonists: Vec::new(),
             pagerank: None,
             pagerank_done: None,
@@ -299,6 +299,11 @@ impl NetLoop {
             self.dispatch(at, ev);
         }
         self.now = self.now.max(until);
+    }
+
+    /// Events this loop's queue has dispatched so far (perf accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.q.events_processed()
     }
 
     fn push_outs(&mut self, from: Side, outs: Vec<HostOut>) {

@@ -1,0 +1,47 @@
+//! Self-profiling counters for the experiment runners.
+//!
+//! Every runner reports how many simulation events (or equivalent work
+//! units) it dispatched into a process-wide counter; the bench harnesses
+//! read it alongside wall-clock time to print an events/second figure and
+//! to emit the machine-readable perf baseline (`BENCH_2.json`). The counter
+//! is a relaxed atomic: cheap enough to bump once per *run* (not per
+//! event), safe under the parallel sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Credits `n` simulation events to the process-wide counter. Runners call
+/// this once per simulation with their event loop's final count.
+pub fn note_events(n: u64) {
+    EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total events credited since the process started (or since the last
+/// [`take_events`]).
+pub fn events() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}
+
+/// Reads and resets the counter; returns the count at the moment of reset.
+/// Harnesses call this around each figure to attribute events per figure.
+pub fn take_events() -> u64 {
+    EVENTS.swap(0, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_take_roundtrip() {
+        // The counter is process-global; use take() to isolate this test's
+        // contribution from any doctest neighbours.
+        let _ = take_events();
+        note_events(5);
+        note_events(7);
+        assert!(events() >= 12);
+        let got = take_events();
+        assert!(got >= 12);
+    }
+}

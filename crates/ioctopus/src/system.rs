@@ -179,7 +179,7 @@ pub fn build_duplex(p: Placement, opts: BuildOpts) -> Duplex {
 /// per-flow wire sequence numbers.
 #[derive(Debug, Default)]
 pub struct OutRouter {
-    seqs: std::collections::HashMap<(Side, FlowTuple), u64>,
+    seqs: simcore::FxHashMap<(Side, FlowTuple), u64>,
 }
 
 impl OutRouter {

@@ -17,14 +17,14 @@
 //!   ARFS callback chain that, under the `OctoTeam` driver, reprograms
 //!   IOctoRFS so the flow follows the process to the local PF (§5.3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use memsys::{AccessKind, MemSystem, NodeId, PhysAddr};
 use nic::desc::TxFragment;
 use nic::desc::{CQE_BYTES, DESC_BYTES};
 use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc};
 use pcie::{PcieFabric, PfId};
-use simcore::{Dur, FaultKind, Time};
+use simcore::{Dur, FaultKind, FxHashMap, Time};
 
 use crate::cores::Cores;
 use crate::netdev::{DriverModel, Netdev, NetdevId};
@@ -193,7 +193,7 @@ pub struct Host {
     tx_pending: Vec<VecDeque<(Option<PhysAddr>, SockId, u64)>>,
     /// Sockets whose steering should move to a new queue once their old
     /// queue drains: old queue → (socket, desired queue).
-    pending_steer: HashMap<QueueId, Vec<(SockId, QueueId)>>,
+    pending_steer: FxHashMap<QueueId, Vec<(SockId, QueueId)>>,
     rx_no_socket_drops: u64,
     tx_retry: Vec<RetryState>,
     robust: HostRobustness,
@@ -220,7 +220,7 @@ impl Host {
         let mut queue_irq_core = Vec::new();
         let mut rx_pools = Vec::new();
 
-        let pf_nodes: std::collections::HashMap<PfId, NodeId> = pfs
+        let pf_nodes: FxHashMap<PfId, NodeId> = pfs
             .iter()
             .map(|&pf| {
                 let node = fabric.node_of(pf).expect("PF attached to the fabric");
@@ -357,7 +357,7 @@ impl Host {
             rx_pools,
             tx_pools,
             tx_pending: (0..n_queues).map(|_| VecDeque::new()).collect(),
-            pending_steer: HashMap::new(),
+            pending_steer: FxHashMap::default(),
             rx_no_socket_drops: 0,
             tx_retry: vec![RetryState::default(); n_queues],
             robust: HostRobustness::default(),

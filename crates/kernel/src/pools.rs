@@ -112,7 +112,7 @@ mod tests {
     fn buffers_are_distinct() {
         let mut m = mem();
         let mut p = BufPool::new(&mut m, NodeId(0), 2048, 16);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = simcore::FxHashSet::default();
         while let Some(b) = p.take() {
             assert!(seen.insert(b.0), "duplicate buffer");
         }

@@ -1,6 +1,8 @@
 //! Sockets: the OS-side endpoint of a flow.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use simcore::FxHashMap;
 
 use memsys::PhysAddr;
 use nic::{FlowTuple, QueueId};
@@ -78,7 +80,7 @@ impl Socket {
 #[derive(Debug, Default)]
 pub struct SocketTable {
     socks: Vec<Socket>,
-    by_flow: HashMap<FlowTuple, SockId>,
+    by_flow: FxHashMap<FlowTuple, SockId>,
 }
 
 impl SocketTable {

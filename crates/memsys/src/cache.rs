@@ -11,7 +11,7 @@
 //! device traffic cannot sweep the whole cache — exactly the behaviour that
 //! keeps NIC rings hot without destroying application working sets.
 
-use std::collections::HashMap;
+use simcore::FxHashMap;
 
 use crate::topology::{PhysAddr, LINE_BYTES};
 
@@ -75,7 +75,7 @@ pub enum Evicted {
 #[derive(Debug, Clone)]
 pub struct Llc {
     cfg: LlcConfig,
-    sets: HashMap<u64, Vec<Way>>,
+    sets: FxHashMap<u64, Vec<Way>>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -93,7 +93,7 @@ impl Llc {
         assert!(cfg.sets() > 0, "cache must have at least one set");
         Llc {
             cfg,
-            sets: HashMap::new(),
+            sets: FxHashMap::default(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -149,7 +149,10 @@ impl Llc {
         self.tick += 1;
         let tick = self.tick;
         let cfg = self.cfg;
-        let ways = self.sets.entry(set).or_default();
+        let ways = self
+            .sets
+            .entry(set)
+            .or_insert_with(|| Vec::with_capacity(cfg.ways));
 
         if let Some(w) = ways.iter_mut().find(|w| w.tag == line) {
             w.last_use = tick;

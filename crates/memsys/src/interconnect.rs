@@ -6,9 +6,7 @@
 //! full-duplex: Figure 11's STREAM antagonists saturate one direction while
 //! the other still carries acknowledgements.
 
-use std::collections::HashMap;
-
-use simcore::{BwLink, Dur, Time};
+use simcore::{BwLink, Dur, FxHashMap, Time};
 
 use crate::topology::NodeId;
 
@@ -50,13 +48,13 @@ impl InterconnectConfig {
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     cfg: InterconnectConfig,
-    dirs: HashMap<(NodeId, NodeId), BwLink>,
+    dirs: FxHashMap<(NodeId, NodeId), BwLink>,
 }
 
 impl Interconnect {
     /// Builds the interconnect for `nodes` fully connected sockets.
     pub fn new(nodes: usize, cfg: InterconnectConfig) -> Self {
-        let mut dirs = HashMap::new();
+        let mut dirs = FxHashMap::default();
         for a in 0..nodes {
             for b in 0..nodes {
                 if a != b {

@@ -6,9 +6,8 @@
 //! (IOctoRFS): "we modify the MPFS to map packets to a PF based on their
 //! flow 5-tuple instead of the MAC address."
 
-use std::collections::HashMap;
-
 use pcie::PfId;
+use simcore::FxHashMap;
 
 use crate::flow::{FlowTuple, MacAddr};
 
@@ -27,8 +26,8 @@ pub enum SteeringMode {
 #[derive(Debug, Clone)]
 pub struct Mpfs {
     mode: SteeringMode,
-    macs: HashMap<MacAddr, PfId>,
-    flows: HashMap<FlowTuple, PfId>,
+    macs: FxHashMap<MacAddr, PfId>,
+    flows: FxHashMap<FlowTuple, PfId>,
     default_pf: PfId,
     updates: u64,
 }
@@ -39,8 +38,8 @@ impl Mpfs {
     pub fn new(mode: SteeringMode, default_pf: PfId) -> Self {
         Mpfs {
             mode,
-            macs: HashMap::new(),
-            flows: HashMap::new(),
+            macs: FxHashMap::default(),
+            flows: FxHashMap::default(),
             default_pf,
             updates: 0,
         }

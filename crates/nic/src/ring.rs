@@ -37,7 +37,7 @@ impl<T> DescRing<T> {
             entry_bytes,
             capacity,
             head: 0,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(capacity),
             posted_total: 0,
             consumed_total: 0,
         }

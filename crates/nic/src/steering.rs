@@ -7,9 +7,7 @@
 //! Entries expire if unused, mirroring the kernel worker that "periodically
 //! search[es] for expired rules and delete[s] them" (§4.2).
 
-use std::collections::HashMap;
-
-use simcore::{Dur, Time};
+use simcore::{Dur, FxHashMap, Time};
 
 use crate::device::QueueId;
 use crate::flow::FlowTuple;
@@ -23,7 +21,7 @@ struct Rule {
 /// One PF's ARFS table.
 #[derive(Debug, Clone)]
 pub struct ArfsTable {
-    rules: HashMap<FlowTuple, Rule>,
+    rules: FxHashMap<FlowTuple, Rule>,
     expiry: Dur,
     hits: u64,
     misses: u64,
@@ -33,7 +31,7 @@ impl ArfsTable {
     /// Creates a table whose unused rules expire after `expiry`.
     pub fn new(expiry: Dur) -> Self {
         ArfsTable {
-            rules: HashMap::new(),
+            rules: FxHashMap::default(),
             expiry,
             hits: 0,
             misses: 0,

@@ -29,13 +29,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod faults;
+pub mod hash;
 pub mod link;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use link::BwLink;
 pub use queue::EventQueue;
 pub use rng::SimRng;

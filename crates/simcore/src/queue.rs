@@ -1,7 +1,21 @@
 //! Time-ordered event queue with stable FIFO tie-breaking.
+//!
+//! Two implementations live here:
+//!
+//! * [`EventQueue`] — the production queue, a *calendar queue* (time-wheel
+//!   of buckets plus a sorted overflow list). Discrete-event hot loops are
+//!   dominated by `push`/`pop`; a binary heap pays an `O(log n)` chain of
+//!   comparisons per operation, whereas the calendar queue's bucket index
+//!   arithmetic makes both operations amortized `O(1)` when the wheel is
+//!   sized to the event population (it re-sizes itself as the population
+//!   grows).
+//! * [`HeapEventQueue`] — the original `BinaryHeap`-based queue, kept as the
+//!   differential-test oracle. Both queues order pops by the total order
+//!   `(time, push sequence)`, so for any push/pop script their outputs are
+//!   bit-identical; randomized tests below enforce exactly that.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Time;
 
@@ -13,9 +27,19 @@ struct Entry<E> {
     payload: E,
 }
 
+impl<E> Entry<E> {
+    /// The total order every queue implementation pops in: time, then
+    /// push sequence. This is a *total* order (seq is unique), which is
+    /// what makes the calendar queue's pop sequence provably identical to
+    /// the heap's regardless of internal layout.
+    fn key(&self) -> (Time, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -30,19 +54,33 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
         // entry is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
+
+/// Initial bucket count (power of two).
+const INITIAL_BUCKETS: usize = 64;
+/// Wheel growth cap: beyond this, buckets stop doubling and simply hold
+/// more entries each (still sorted, still correct).
+const MAX_BUCKETS: usize = 8192;
+/// Initial bucket width exponent: 2^14 ps ≈ 16 ns per bucket, a reasonable
+/// starting grain for the ns-scale events the substrates schedule. Resizes
+/// re-estimate the width from the live population.
+const INITIAL_SHIFT: u32 = 14;
 
 /// A discrete-event queue: events are popped in time order, and events
 /// scheduled for the same instant are popped in the order they were pushed.
 ///
 /// Determinism matters: the whole simulation must replay identically for a
 /// given seed, so ties are broken by a monotonically increasing sequence
-/// number rather than by heap internals.
+/// number rather than by internal layout.
+///
+/// Internally this is a calendar queue: a ring of `2^k`-picosecond-wide
+/// buckets (each a `VecDeque` sorted ascending by `(time, seq)`) covering
+/// one "rotation" of simulated time ahead of the cursor, plus a sorted
+/// overflow list for events beyond the rotation. The cursor always rests on
+/// the slot of the earliest pending event, so `peek_time` is O(1) and `pop`
+/// is O(1) plus the (amortized constant) cost of walking empty slots.
 ///
 /// # Example
 /// ```
@@ -59,7 +97,22 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Ring of buckets, each sorted ascending by `(at, seq)`.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// Bucket width is `1 << shift` picoseconds.
+    shift: u32,
+    /// Absolute slot (`at.as_ps() >> shift`) the cursor rests on. Invariant
+    /// after every mutation: if the queue is non-empty, the wheel is
+    /// non-empty and `buckets[cur_slot & mask]`'s front entry has slot
+    /// `cur_slot` and is the global minimum.
+    cur_slot: u64,
+    /// Entries resident in the wheel.
+    wheel_len: usize,
+    /// Entries beyond the wheel's current rotation, sorted ascending by
+    /// `(at, seq)` (front = earliest).
+    overflow: VecDeque<Entry<E>>,
     next_seq: u64,
     popped: u64,
 }
@@ -68,6 +121,225 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            buckets: (0..INITIAL_BUCKETS).map(|_| VecDeque::new()).collect(),
+            mask: INITIAL_BUCKETS - 1,
+            shift: INITIAL_SHIFT,
+            cur_slot: 0,
+            wheel_len: 0,
+            overflow: VecDeque::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, at: Time) -> u64 {
+        at.as_ps() >> self.shift
+    }
+
+    /// Whether `slot` falls within the wheel's current rotation.
+    #[inline]
+    fn in_wheel(&self, slot: u64) -> bool {
+        slot < self.cur_slot + self.buckets.len() as u64
+    }
+
+    /// Inserts an entry into a sorted `VecDeque` (ascending `(at, seq)`),
+    /// with an O(1) fast path for the overwhelmingly common append case
+    /// (events are mostly generated in nondecreasing time order).
+    fn sorted_insert(dst: &mut VecDeque<Entry<E>>, e: Entry<E>) {
+        match dst.back() {
+            Some(b) if b.key() > e.key() => {
+                let pos = dst.partition_point(|x| x.key() < e.key());
+                dst.insert(pos, e);
+            }
+            _ => dst.push_back(e),
+        }
+    }
+
+    /// Places an entry into its wheel bucket or the overflow list. The
+    /// caller is responsible for cursor positioning.
+    fn place(&mut self, e: Entry<E>) {
+        let s = self.slot(e.at);
+        if self.in_wheel(s) {
+            Self::sorted_insert(&mut self.buckets[(s & self.mask as u64) as usize], e);
+            self.wheel_len += 1;
+        } else {
+            Self::sorted_insert(&mut self.overflow, e);
+        }
+    }
+
+    /// Moves overflow entries that now fall inside the rotation into their
+    /// buckets.
+    fn drain_overflow(&mut self) {
+        while let Some(front) = self.overflow.front() {
+            let s = self.slot(front.at);
+            if !self.in_wheel(s) {
+                break;
+            }
+            let e = self.overflow.pop_front().expect("front exists");
+            Self::sorted_insert(&mut self.buckets[(s & self.mask as u64) as usize], e);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// The slot of the earliest entry anywhere in the queue. Only called on
+    /// a non-empty queue.
+    fn min_slot(&self) -> u64 {
+        let mut best: Option<(Time, u64)> = self.overflow.front().map(Entry::key);
+        for b in &self.buckets {
+            if let Some(front) = b.front() {
+                let k = front.key();
+                if best.map(|m| k < m).unwrap_or(true) {
+                    best = Some(k);
+                }
+            }
+        }
+        self.slot(best.expect("queue is non-empty").0)
+    }
+
+    /// Advances the cursor to the slot of the global minimum entry,
+    /// restoring the peek/pop invariant. Called after any mutation that can
+    /// leave the cursor on an empty slot.
+    fn settle(&mut self) {
+        if self.wheel_len == 0 {
+            if self.overflow.is_empty() {
+                return; // queue empty; cursor position is irrelevant
+            }
+            self.cur_slot = self.slot(self.overflow.front().expect("non-empty").at);
+        }
+        let mut scanned = 0usize;
+        loop {
+            self.drain_overflow();
+            let b = &self.buckets[(self.cur_slot & self.mask as u64) as usize];
+            if let Some(front) = b.front() {
+                if self.slot(front.at) == self.cur_slot {
+                    return;
+                }
+            }
+            self.cur_slot += 1;
+            scanned += 1;
+            // Sparse population: rather than crawling slot by slot, jump
+            // straight to the earliest entry after one fruitless rotation.
+            if scanned > self.buckets.len() {
+                self.cur_slot = self.min_slot();
+                scanned = 0;
+            }
+        }
+    }
+
+    /// Doubles the wheel (up to [`MAX_BUCKETS`]) and re-estimates the bucket
+    /// width from the live population, then re-distributes every entry.
+    fn rebuild(&mut self) {
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len());
+        for b in &mut self.buckets {
+            all.extend(b.drain(..));
+        }
+        all.extend(self.overflow.drain(..));
+        self.wheel_len = 0;
+        if all.is_empty() {
+            return;
+        }
+        all.sort_by_key(|e| e.key());
+
+        let n = all.len();
+        let nbuckets = (n.next_power_of_two() * 2).clamp(INITIAL_BUCKETS, MAX_BUCKETS);
+        let min_ps = all.first().expect("non-empty").at.as_ps();
+        let max_ps = all.last().expect("non-empty").at.as_ps();
+        // Aim for ~one event per bucket across the live span.
+        let ideal = ((max_ps - min_ps) / n as u64).max(1);
+        self.shift = ideal.next_power_of_two().trailing_zeros().min(40);
+        self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+        self.mask = nbuckets - 1;
+        self.cur_slot = min_ps >> self.shift;
+        for e in all {
+            self.place(e); // sorted input ⇒ pure appends
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push(&mut self, at: Time, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let e = Entry { at, seq, payload };
+        let s = self.slot(at);
+        if self.is_empty() || s < self.cur_slot {
+            // First entry, or scheduled before the cursor (the heap imposed
+            // no push-ordering constraint, so neither do we): the new entry
+            // is the minimum; park the cursor on it.
+            self.cur_slot = s;
+        }
+        self.place(e);
+        if self.len() > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+            self.settle();
+        }
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        if self.is_empty() {
+            return None;
+        }
+        // settle() has parked the cursor on the minimum's slot; its bucket's
+        // front entry *is* the global minimum (the bucket is sorted, all
+        // same-slot entries share a bucket, and no earlier slot is occupied).
+        let b = (self.cur_slot & self.mask as u64) as usize;
+        let e = self.buckets[b].pop_front().expect("settled cursor");
+        self.wheel_len -= 1;
+        self.popped += 1;
+        self.settle();
+        Some((e.at, e.payload))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.is_empty() {
+            return None;
+        }
+        let b = (self.cur_slot & self.mask as u64) as usize;
+        match self.buckets[b].front() {
+            Some(front) => Some(front.at),
+            // Unreachable once settled, but stay total rather than panic.
+            None => self.overflow.front().map(|e| e.at),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events popped over the queue's lifetime.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original `BinaryHeap`-backed event queue, kept as the reference
+/// implementation: differential tests drive it and [`EventQueue`] with the
+/// same push/pop script and require bit-identical outputs.
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
@@ -110,7 +382,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -177,6 +449,49 @@ mod tests {
     }
 
     #[test]
+    fn far_future_events_via_overflow() {
+        let mut q = EventQueue::new();
+        // Spread far beyond one wheel rotation (64 × 16 ns ≈ 1 µs initially).
+        q.push(Time::from_ms(50), "far");
+        q.push(Time::from_ns(1), "near");
+        q.push(Time::from_ms(500), "farther");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "farther");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_before_cursor_still_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_us(10), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // Scheduled before the cursor's current position.
+        q.push(Time::from_ns(5), 2);
+        q.push(Time::from_us(20), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn grows_past_initial_buckets() {
+        let mut q = EventQueue::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            q.push(Time::from_ns((i * 37) % 5000), i);
+        }
+        assert_eq!(q.len(), n as usize);
+        let mut last = Time::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    }
+
+    #[test]
     fn prop_pops_sorted() {
         let mut r = SimRng::seed(0x9e1);
         for _ in 0..32 {
@@ -210,5 +525,128 @@ mod tests {
                 assert_eq!(q.pop().unwrap().1, i);
             }
         }
+    }
+
+    /// The differential oracle: random push/pop scripts across wildly
+    /// different time scales must produce bit-identical pop sequences from
+    /// the calendar queue and the reference heap.
+    #[test]
+    fn diff_calendar_matches_heap_on_random_scripts() {
+        let mut r = SimRng::seed(0xca1e17da);
+        for round in 0..64 {
+            let mut cal = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            // Mix scales: dense ps-level ties, ns bursts, and ms outliers.
+            let span = match round % 4 {
+                0 => 1_000,           // heavy ties
+                1 => 1_000_000,       // ns scale
+                2 => 1_000_000_000,   // us scale
+                _ => 500_000_000_000, // far-future outliers
+            };
+            let ops = 1 + r.below(800) as usize;
+            let mut base = 0u64;
+            for i in 0..ops {
+                if r.chance(0.6) {
+                    let at = Time::from_ps(base + r.below(span));
+                    cal.push(at, i);
+                    heap.push(at, i);
+                } else {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "divergence (round {round}, op {i})");
+                    // Advance the time base like a real simulation clock so
+                    // later pushes land at or after the last pop.
+                    if let Some((t, _)) = a {
+                        base = t.as_ps();
+                    }
+                }
+                assert_eq!(cal.len(), heap.len());
+                assert_eq!(cal.peek_time(), heap.peek_time());
+            }
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "drain divergence (round {round})");
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(cal.events_processed(), heap.events_processed());
+        }
+    }
+
+    /// Same script, but allowing pushes *earlier* than the last pop (the
+    /// heap never forbade scheduling into the past, so the calendar queue
+    /// must match there too).
+    #[test]
+    fn diff_matches_heap_with_past_pushes() {
+        let mut r = SimRng::seed(0xca1e17db);
+        for round in 0..32 {
+            let mut cal = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let ops = 1 + r.below(500) as usize;
+            for i in 0..ops {
+                if r.chance(0.55) {
+                    let at = Time::from_ps(r.below(10_000_000));
+                    cal.push(at, i);
+                    heap.push(at, i);
+                } else {
+                    assert_eq!(cal.pop(), heap.pop(), "round {round} op {i}");
+                }
+            }
+            loop {
+                let a = cal.pop();
+                assert_eq!(a, heap.pop(), "drain, round {round}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Burst-heavy script exercising the rebuild path: thousands of pushes
+    /// between pops.
+    #[test]
+    fn diff_matches_heap_through_rebuilds() {
+        let mut r = SimRng::seed(0xca1e17dc);
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut base = 0u64;
+        for burst in 0..8 {
+            for i in 0..2_000u64 {
+                let at = Time::from_ps(base + r.below(50_000_000));
+                cal.push(at, (burst, i));
+                heap.push(at, (burst, i));
+            }
+            for _ in 0..1_500 {
+                let a = cal.pop();
+                assert_eq!(a, heap.pop());
+                if let Some((t, _)) = a {
+                    base = t.as_ps();
+                }
+            }
+        }
+        loop {
+            let a = cal.pop();
+            assert_eq!(a, heap.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn heap_oracle_behaves_like_original() {
+        let mut q = HeapEventQueue::new();
+        q.push(Time::from_ns(20), "b");
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(20), "c");
+        assert_eq!(q.peek_time(), Some(Time::from_ns(10)));
+        assert_eq!(q.pop(), Some((Time::from_ns(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ns(20), "b")));
+        assert_eq!(q.pop(), Some((Time::from_ns(20), "c")));
+        assert!(q.is_empty());
+        assert_eq!(q.events_processed(), 3);
+        assert_eq!(HeapEventQueue::<u8>::default().len(), 0);
     }
 }
