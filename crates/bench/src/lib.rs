@@ -23,12 +23,19 @@ pub fn header(fig: &str, caption: &str) {
 pub fn footer(started: Instant) {
     let secs = started.elapsed().as_secs_f64();
     let events = ioctopus::perf::take_events();
+    let audits = ioctopus::perf::take_audits();
+    let checks = if audits > 0 && secs > 0.0 {
+        format!(" | {:.1}M checks/s", audits as f64 / 1e6 / secs)
+    } else {
+        String::new()
+    };
     if events > 0 && secs > 0.0 {
         println!(
-            "--------------------- [{:.1}s wall-clock | {:.1}M events | {:.1}M events/s | {} workers]\n",
+            "--------------------- [{:.1}s wall-clock | {:.1}M events | {:.1}M events/s{} | {} workers]\n",
             secs,
             events as f64 / 1e6,
             events as f64 / 1e6 / secs,
+            checks,
             simcore::pool::worker_count(usize::MAX),
         );
     } else {

@@ -13,11 +13,13 @@
 //! | [`nvme_fio`] | Fig. 15, plus the OctoSSD extension |
 //! | [`trends`] | Fig. 2 (motivation) |
 //! | [`failover`] | robustness companion to Fig. 14 (fault injection) |
+//! | [`chaos`] | generated fault-schedule campaigns + invariant audit |
 //!
 //! Every runner is deterministic for a given configuration and returns a
 //! typed result; the `bench` crate's harnesses print them in the paper's
 //! row/series format.
 
+pub mod chaos;
 pub mod colocation;
 pub mod congestion;
 pub mod failover;

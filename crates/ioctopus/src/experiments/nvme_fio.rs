@@ -76,10 +76,7 @@ pub fn run_raw(streams: usize, octo: bool, sim_ms: u64) -> FioRun {
             let p1 = fabric.add_endpoint(NodeId(1), PcieGen::Gen3, 4);
             Ssd::new(
                 i,
-                SsdConfig {
-                    media: MediaConfig::pm1725a(),
-                    policy,
-                },
+                SsdConfig::new(MediaConfig::pm1725a(), policy),
                 vec![p0, p1],
                 &mut mem,
                 NodeId(1),

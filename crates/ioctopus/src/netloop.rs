@@ -150,6 +150,9 @@ pub struct NetLoop {
     /// Per-PF `(time, rx_bytes, tx_bytes)` samples of the server NIC.
     pub samples: Vec<(Time, Vec<(u64, u64)>)>,
     watchdog_every: Option<Dur>,
+    audit_every: Option<Dur>,
+    /// Accumulated invariant-audit results (see [`NetLoop::enable_audit`]).
+    pub audit: simcore::Audit,
     now: Time,
 }
 
@@ -169,6 +172,8 @@ impl NetLoop {
             sample_every: None,
             samples: Vec::new(),
             watchdog_every: None,
+            audit_every: None,
+            audit: simcore::Audit::new(),
             now: Time::ZERO,
         }
     }
@@ -202,6 +207,32 @@ impl NetLoop {
     pub fn enable_sampling(&mut self, every: Dur) {
         self.sample_every = Some(every);
         self.q.push(Time::ZERO + every, Event::Sample);
+    }
+
+    /// Enables the system-wide invariant audit: conservation checks on
+    /// both hosts (buffer pools, descriptor rings, socket accounting, PCIe
+    /// transaction tallies) plus event-queue time-monotonicity, run every
+    /// `every` of simulated time. Passing `Dur::ZERO` audits after *every*
+    /// dispatched event instead (first-failure isolation for debugging; it
+    /// stops at the first violation so the list stays bounded). Results
+    /// accumulate in [`NetLoop::audit`]; auditing reads the simulation
+    /// without touching it, so enabling it never perturbs a run's event
+    /// order.
+    pub fn enable_audit(&mut self, every: Dur) {
+        self.audit_every = Some(every);
+        if every > Dur::ZERO {
+            self.q.push(Time::ZERO + every, Event::Audit);
+        }
+    }
+
+    /// Runs one audit pass over the whole system into
+    /// [`NetLoop::audit`] — both hosts and the event queue. Harnesses call
+    /// this at quiesce points; the periodic [`Event::Audit`] tick calls it
+    /// on schedule.
+    pub fn run_audit(&mut self) {
+        self.duplex.server.audit(&mut self.audit);
+        self.duplex.client.audit(&mut self.audit);
+        self.q.audit(&mut self.audit);
     }
 
     /// Schedules a thread migration (Figure 14's `sched_setaffinity`).
@@ -297,6 +328,12 @@ impl NetLoop {
             let (at, ev) = self.q.pop().expect("peeked");
             self.now = at;
             self.dispatch(at, ev);
+            // Per-step auditing (`enable_audit(Dur::ZERO)`) stops at the
+            // first violation: it pinpoints the offending event without
+            // letting a persistently broken invariant grow the list.
+            if self.audit_every == Some(Dur::ZERO) && self.audit.ok() {
+                self.run_audit();
+            }
         }
         self.now = self.now.max(until);
     }
@@ -380,6 +417,14 @@ impl NetLoop {
                 self.push_outs(Side::Server, outs);
                 if let Some(every) = self.watchdog_every {
                     self.q.push(now + every, Event::Watchdog);
+                }
+            }
+            Event::Audit => {
+                self.run_audit();
+                if let Some(every) = self.audit_every {
+                    if every > Dur::ZERO {
+                        self.q.push(now + every, Event::Audit);
+                    }
                 }
             }
             Event::StreamStep { idx } => {

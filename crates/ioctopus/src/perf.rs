@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static EVENTS: AtomicU64 = AtomicU64::new(0);
+static AUDITS: AtomicU64 = AtomicU64::new(0);
 
 /// Credits `n` simulation events to the process-wide counter. Runners call
 /// this once per simulation with their event loop's final count.
@@ -29,6 +30,24 @@ pub fn take_events() -> u64 {
     EVENTS.swap(0, Ordering::Relaxed)
 }
 
+/// Credits `n` invariant checks (individual [`simcore::Audit`] predicate
+/// evaluations) to the process-wide counter, so bench footers can report
+/// audit throughput alongside event throughput.
+pub fn note_audits(n: u64) {
+    AUDITS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total invariant checks credited since the process started (or since the
+/// last [`take_audits`]).
+pub fn audits() -> u64 {
+    AUDITS.load(Ordering::Relaxed)
+}
+
+/// Reads and resets the invariant-check counter.
+pub fn take_audits() -> u64 {
+    AUDITS.swap(0, Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +62,13 @@ mod tests {
         assert!(events() >= 12);
         let got = take_events();
         assert!(got >= 12);
+    }
+
+    #[test]
+    fn audit_counter_roundtrip() {
+        let _ = take_audits();
+        note_audits(9);
+        assert!(audits() >= 9);
+        assert!(take_audits() >= 9);
     }
 }

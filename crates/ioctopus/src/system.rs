@@ -101,6 +101,8 @@ pub enum Event {
         /// Worker index.
         idx: usize,
     },
+    /// Periodic system-wide invariant audit (see `NetLoop::enable_audit`).
+    Audit,
 }
 
 /// The two machines, wired back-to-back.

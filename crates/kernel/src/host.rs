@@ -24,7 +24,7 @@ use nic::desc::TxFragment;
 use nic::desc::{CQE_BYTES, DESC_BYTES};
 use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc};
 use pcie::{PcieFabric, PfId};
-use simcore::{Dur, FaultKind, FxHashMap, Time};
+use simcore::{Audit, Dur, FaultKind, FxHashMap, Time};
 
 use crate::cores::Cores;
 use crate::netdev::{DriverModel, Netdev, NetdevId};
@@ -100,6 +100,12 @@ pub struct HostRobustness {
     pub doorbell_retries: u64,
     /// Fault events applied via [`Host::apply_fault`].
     pub faults_applied: u64,
+    /// Steering re-install passes that reached every queue's control path
+    /// (flows pulled home after PF recovery).
+    pub steering_reinstalls: u64,
+    /// Steering re-install attempts retried by the watchdog because a
+    /// queue's control path was dead when the PF came back.
+    pub steering_reinstall_retries: u64,
 }
 
 /// Per-queue doorbell-retry state (bounded exponential backoff).
@@ -196,6 +202,11 @@ pub struct Host {
     pending_steer: FxHashMap<QueueId, Vec<(SockId, QueueId)>>,
     rx_no_socket_drops: u64,
     tx_retry: Vec<RetryState>,
+    /// Bounded-backoff state for re-installing steering after PF recovery
+    /// found a dead control path (see [`Host::watchdog`]).
+    steer_retry: RetryState,
+    steer_pending: bool,
+    break_recovery: bool,
     robust: HostRobustness,
 }
 
@@ -360,6 +371,9 @@ impl Host {
             pending_steer: FxHashMap::default(),
             rx_no_socket_drops: 0,
             tx_retry: vec![RetryState::default(); n_queues],
+            steer_retry: RetryState::default(),
+            steer_pending: false,
+            break_recovery: false,
             robust: HostRobustness::default(),
         }
     }
@@ -989,6 +1003,96 @@ impl Host {
         self.robust
     }
 
+    /// Runs every conservation check this host can see — its buffer pools
+    /// and socket table, then the NIC's and the fabric's own audits — into
+    /// `a`. Cheap enough for quiesce points; debug builds can afford it
+    /// per event step.
+    pub fn audit(&self, a: &mut Audit) {
+        // Rx buffer conservation, per queue: every buffer the pool ever
+        // owned is free in the pool, posted in the ring, parked in an
+        // unreaped CQE, queued on a socket, or written off as lost to a
+        // mid-DMA link drop. Anything else is a leak (or a double count).
+        let n_queues = self.queue_pf.len();
+        let mut sock_held = vec![0usize; n_queues];
+        let mut pending_by_sock = vec![0u64; self.sockets.len()];
+        for s in self.sockets.ids() {
+            for seg in &self.sockets.get(s).rx_q {
+                if seg.queue.0 < n_queues {
+                    sock_held[seg.queue.0] += 1;
+                }
+            }
+        }
+        for pend in &self.tx_pending {
+            for &(_, sid, bytes) in pend {
+                pending_by_sock[sid.0] += bytes;
+            }
+        }
+        for (qi, &held) in sock_held.iter().enumerate() {
+            let q = QueueId(qi);
+            let pool = &self.rx_pools[qi];
+            let have = pool.available()
+                + self.nic.rx_buffers_available(q)
+                + self.nic.rx_cq_held_buffers(q)
+                + held;
+            let expect = pool
+                .capacity()
+                .saturating_sub(self.nic.rx_bufs_lost(q) as usize);
+            a.check("kernel", "rx-pool-conservation", have == expect, || {
+                format!(
+                    "queue {qi}: pool {} + ring {} + cq {} + sockets {} = {have}, \
+                     expected capacity {} - lost {} = {expect}",
+                    pool.available(),
+                    self.nic.rx_buffers_available(q),
+                    self.nic.rx_cq_held_buffers(q),
+                    held,
+                    pool.capacity(),
+                    self.nic.rx_bufs_lost(q),
+                )
+            });
+        }
+        // Tx kernel-buffer conservation, per node: a buffer is either free
+        // in its pool or referenced by an in-flight descriptor entry
+        // (zero-copy sendfile entries reference page-cache pages instead
+        // and hold no pool buffer).
+        let mut pending_bufs = vec![0usize; self.tx_pools.len()];
+        for pend in &self.tx_pending {
+            for (kbuf, _, _) in pend {
+                if let Some(kbuf) = kbuf {
+                    pending_bufs[kbuf.home().0] += 1;
+                }
+            }
+        }
+        for (n, pool) in self.tx_pools.iter().enumerate() {
+            let have = pool.available() + pending_bufs[n];
+            a.check(
+                "kernel",
+                "tx-pool-conservation",
+                have == pool.capacity(),
+                || {
+                    format!(
+                        "node {n}: pool {} + in-flight {} != capacity {}",
+                        pool.available(),
+                        pending_bufs[n],
+                        pool.capacity()
+                    )
+                },
+            );
+        }
+        // Socket accounting: bytes still queued toward the NIC for a socket
+        // can never exceed what the socket believes is in flight. (The
+        // reverse can legally happen: completion-queue overflow coalesces
+        // CQEs, stranding `tx_inflight` high until teardown.)
+        for s in self.sockets.ids() {
+            let pending = pending_by_sock[s.0];
+            let inflight = self.sockets.get(s).tx_inflight;
+            a.check("kernel", "socket-tx-inflight", pending <= inflight, || {
+                format!("socket {}: pending {pending} > tx_inflight {inflight}", s.0)
+            });
+        }
+        self.nic.audit(a);
+        self.fabric.audit(a);
+    }
+
     /// Driver watchdog, invoked periodically by the experiment loop — the
     /// simulation analogue of `ndo_tx_timeout` plus NAPI's deferred re-poll.
     /// Two hazards are detected:
@@ -1003,6 +1107,24 @@ impl Host {
         let timeout = self.cfg.watchdog_timeout;
         let stale = |l: Option<Time>| matches!(l, Some(l) if l + timeout <= now);
         let mut outs = Vec::new();
+        // Steering re-install left pending by a PF recovery whose control
+        // path was dead: retry with the same bounded exponential backoff
+        // the doorbell path uses (shared limit/base keeps the recovery
+        // policy in one knob pair).
+        if self.steer_pending
+            && now >= self.steer_retry.next_at
+            && self.steer_retry.retries < self.cfg.tx_retry_limit
+        {
+            let st = self.steer_retry;
+            self.steer_retry = RetryState {
+                retries: st.retries + 1,
+                next_at: now + self.cfg.tx_retry_backoff * (1u64 << st.retries.min(10)),
+            };
+            self.robust.steering_reinstall_retries += 1;
+            if self.reinstall_steering(now) {
+                self.steer_pending = false;
+            }
+        }
         for qi in 0..self.queue_pf.len() {
             let q = QueueId(qi);
             if stale(self.nic.rx_landing(q)) || stale(self.nic.tx_landing(q)) {
@@ -1050,6 +1172,15 @@ impl Host {
                 }
             }
             FaultKind::PfFail => {
+                if self.break_recovery {
+                    // Test-only sabotage (see `debug_break_recovery`): the
+                    // teardown path "frees" one Tx kernel buffer on the
+                    // failed PF's node without returning it to its pool.
+                    if let Some(qi) = self.queue_pf.iter().position(|&p| p == pf) {
+                        let node = self.queue_node[qi];
+                        let _ = self.tx_pools[node.0].take();
+                    }
+                }
                 self.nic.fail_pf(now, pf);
             }
             FaultKind::PfRecover => {
@@ -1057,26 +1188,65 @@ impl Host {
                 for st in &mut self.tx_retry {
                     *st = RetryState::default();
                 }
-                self.reinstall_steering(now);
+                if self.reinstall_steering(now) {
+                    self.steer_pending = false;
+                } else {
+                    // Some queue's control path was dead (its link is still
+                    // down): the affected flows stay on the failover
+                    // survivor and the watchdog retries with backoff.
+                    self.steer_pending = true;
+                    self.steer_retry = RetryState::default();
+                }
             }
             FaultKind::IrqLoss => self.nic.inject_irq_loss(pf),
+            FaultKind::MediaFault { .. } => {
+                // Media faults target drives; a NIC-only host absorbs them
+                // (the fault still counts as applied, mirroring hardware
+                // that latches an AER it has no handler for).
+            }
         }
+    }
+
+    /// Arms a test-only fault in the driver's own recovery path: the next
+    /// PF failure silently leaks one Tx kernel buffer from the failed PF's
+    /// node pool, modeling a teardown handler that loses track of a
+    /// buffer. Exists so the audit layer's pool-conservation check can be
+    /// shown to catch a real recovery bug (and the campaign shrinker to
+    /// minimize the schedule that exposes it). Never set outside
+    /// tests/harnesses.
+    #[doc(hidden)]
+    pub fn debug_break_recovery(&mut self) {
+        self.break_recovery = true;
     }
 
     /// After a PF returns, re-install every socket's steering at its owner's
     /// current queue, pulling flows back off the failover survivor onto
     /// their home PFs (the driver half of recovery; the firmware half is the
-    /// MPFS default-PF restore inside [`Nic::recover_pf`]).
-    fn reinstall_steering(&mut self, now: Time) {
+    /// MPFS default-PF restore inside [`Nic::recover_pf`]). Each install is
+    /// a control-path MMIO write to the queue's PF; a dead link eats it, in
+    /// which case that flow stays on the survivor and this returns `false`
+    /// so the caller schedules a retry. Idempotent, so a retry simply
+    /// re-runs the whole pass.
+    fn reinstall_steering(&mut self, now: Time) -> bool {
         let socks: Vec<SockId> = self.sockets.ids().collect();
+        let mut all_ok = true;
         for s in socks {
             let (core, nd) = {
                 let sk = self.sockets.get(s);
                 (self.sched.core_of(sk.owner), sk.netdev)
             };
             let q = self.netdevs[nd.0].queue_for_core(core);
+            let (pf, node) = (self.queue_pf[q.0], self.queue_node[q.0]);
+            if self.fabric.mmio_write(now, node, pf, &self.mem).is_none() {
+                all_ok = false;
+                continue;
+            }
             self.install_steering(now, s, q);
         }
+        if all_ok {
+            self.robust.steering_reinstalls += 1;
+        }
+        all_ok
     }
 
     /// The reservation clock for memory accesses inside a handler: tracks
@@ -1604,5 +1774,106 @@ mod tests {
             remote > local,
             "remote kernel path must cost more: local={local} remote={remote}"
         );
+    }
+
+    #[test]
+    fn audit_stays_clean_through_traffic_and_faults() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(4000);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mut t = Time::ZERO;
+        for seq in 0..32u64 {
+            t += Dur::from_us(3);
+            if seq == 10 {
+                host.apply_fault(t, pfs[0], FaultKind::PfFail);
+            }
+            if seq == 20 {
+                host.apply_fault(t, pfs[0], FaultKind::PfRecover);
+            }
+            for o in host.wire_arrival(t, flow, 1448, seq) {
+                if let HostOut::Irq { at, queue } = o {
+                    host.irq(at, queue);
+                }
+            }
+            host.send(t, sock, 4096);
+            host.recv(t + Dur::from_us(1), sock, 1 << 20);
+            let mut a = Audit::new();
+            host.audit(&mut a);
+            assert!(a.ok(), "step {seq}: {:?}", a.violations());
+        }
+        // Drain in-flight Tx so the pools settle, then audit once more.
+        for qi in 0..host.queue_pf.len() {
+            host.irq(t + Dur::from_ms(1), QueueId(qi));
+        }
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+        assert!(a.checks() > 0);
+    }
+
+    #[test]
+    fn sabotaged_failover_trips_the_pool_audit() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let _sock = host.open_socket(Time::ZERO, th, client_flow(4001), NetdevId(0));
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(a.ok(), "clean before sabotage: {:?}", a.violations());
+        host.debug_break_recovery();
+        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::PfFail);
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(!a.ok(), "the leaked buffer must be caught");
+        assert!(
+            a.violations()
+                .iter()
+                .any(|v| v.check == "tx-pool-conservation"),
+            "{:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn media_fault_is_absorbed_by_a_nic_only_host() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        host.apply_fault(Time::ZERO, pfs[0], FaultKind::MediaFault { errors: 3 });
+        assert_eq!(host.robustness().faults_applied, 1);
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn steering_reinstall_retries_until_control_path_returns() {
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(4002);
+        let _sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mac = host.netdev_mac(NetdevId(0));
+        // PF0 fails and its link goes down; the flow fails over to PF1.
+        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::LinkDown);
+        host.apply_fault(Time::from_us(2), pfs[0], FaultKind::PfFail);
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1]);
+        // The PF recovers while its link is still down: the reinstall MMIO
+        // vanishes, so the flow must stay on the survivor for now.
+        host.apply_fault(Time::from_us(3), pfs[0], FaultKind::PfRecover);
+        assert_eq!(
+            host.nic.mpfs().steer(mac, &flow),
+            pfs[1],
+            "control path dead"
+        );
+        // Watchdog retry against the dead link also fails, with backoff.
+        host.watchdog(Time::from_us(50));
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1]);
+        assert_eq!(host.robustness().steering_reinstall_retries, 1);
+        // Link retrains; the next retry past the backoff pulls the flow home.
+        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
+        host.watchdog(Time::from_ms(2));
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0], "pulled home");
+        assert!(host.robustness().steering_reinstalls >= 1);
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
     }
 }

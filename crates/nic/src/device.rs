@@ -94,6 +94,11 @@ struct Queue {
     rx_cq: DescRing<Completion>,
     irq_armed: bool,
     busy_until: Time,
+    /// Rx buffers the hardware popped from the ring and then lost (the
+    /// link dropped mid-DMA, so the buffer could not be returned). The
+    /// host's pool-conservation audit subtracts these from the pool
+    /// capacity it expects to account for.
+    rx_bufs_lost: u64,
 }
 
 /// What happened to an arriving wire packet.
@@ -183,6 +188,7 @@ pub struct Nic {
     rx_bytes_per_pf: Vec<u64>,
     tx_bytes_per_pf: Vec<u64>,
     rx_dropped: u64,
+    rx_no_buffer: u64,
     pf_alive: Vec<bool>,
     irq_loss_pending: Vec<bool>,
     home_default: PfId,
@@ -206,6 +212,7 @@ impl Nic {
             rx_bytes_per_pf: vec![0; pf_count],
             tx_bytes_per_pf: vec![0; pf_count],
             rx_dropped: 0,
+            rx_no_buffer: 0,
             pf_alive: vec![true; pf_count],
             irq_loss_pending: vec![false; pf_count],
             home_default: default_pf,
@@ -283,8 +290,13 @@ impl Nic {
     /// Brings `pf` back after a function-level reset. Steering state stays
     /// where failover moved it — the driver decides what to migrate back
     /// (via `install_flow`/`arfs_install`) — except the default-PF
-    /// fallback, which firmware restores to its configured home.
-    /// Idempotent.
+    /// fallback, which firmware restores to its configured home, or adopts
+    /// onto the recovering PF if the current default is dead (the
+    /// all-PFs-down-then-partial-recovery case: with no survivor at the
+    /// last failure, the fallback had nowhere to fail over to, and waiting
+    /// for the home PF specifically would blackhole unmatched traffic on
+    /// an otherwise serving device — found by the chaos campaign's
+    /// fail-while-failed schedules). Idempotent.
     pub fn recover_pf(&mut self, pf: PfId) {
         if pf.0 >= self.pf_count {
             self.invalid_refs.set(self.invalid_refs.get() + 1);
@@ -295,7 +307,9 @@ impl Nic {
         }
         self.pf_alive[pf.0] = true;
         self.counters.pf_recoveries += 1;
-        if self.cfg.steering == SteeringMode::FlowBased && self.home_default == pf {
+        if self.cfg.steering == SteeringMode::FlowBased
+            && (self.home_default == pf || !self.pf_alive(self.mpfs.default_pf()))
+        {
             self.mpfs.set_default_pf(pf);
         }
     }
@@ -382,6 +396,7 @@ impl Nic {
             rx_cq: DescRing::new(rx_cq_base, CQE_BYTES, n * 4),
             irq_armed: true,
             busy_until: Time::ZERO,
+            rx_bufs_lost: 0,
         });
         id
     }
@@ -695,6 +710,7 @@ impl Nic {
             Some(x) => x,
             None => {
                 self.rx_dropped += 1;
+                self.rx_no_buffer += 1;
                 return RxOutcome::DroppedNoBuffer { queue: q };
             }
         };
@@ -720,6 +736,7 @@ impl Nic {
             });
         let Some(slowest) = dmas else {
             self.rx_dropped += 1;
+            self.queues[q.0].rx_bufs_lost += 1;
             return RxOutcome::DroppedLinkDown { queue: q, pf: qpf };
         };
         let t = engine + slowest;
@@ -779,6 +796,64 @@ impl Nic {
     /// Packets dropped for lack of a posted Rx buffer.
     pub fn rx_dropped(&self) -> u64 {
         self.rx_dropped
+    }
+
+    /// Rx buffers queue `q` popped from its ring and then lost because the
+    /// PCIe link dropped mid-DMA. These buffers never come back: the host's
+    /// conservation audit writes them off against the pool capacity.
+    pub fn rx_bufs_lost(&self, q: QueueId) -> u64 {
+        self.queue(q).map_or(0, |qq| qq.rx_bufs_lost)
+    }
+
+    /// Rx buffers currently parked in queue `q`'s completion queue —
+    /// delivered packets the host has not reaped yet. Error completions
+    /// carry no buffer and are not counted.
+    pub fn rx_cq_held_buffers(&self, q: QueueId) -> usize {
+        self.queue(q).map_or(0, |qq| {
+            qq.rx_cq.iter().filter(|c| c.buffer.is_some()).count()
+        })
+    }
+
+    /// Runs the device's own conservation checks into `a`.
+    ///
+    /// * `rx-drop-conservation` — every increment of the aggregate
+    ///   `rx_dropped` tally happens at a site that also classifies the drop
+    ///   (dead PF, empty ring, link down), so the aggregate must equal the
+    ///   sum of the classified counters. A new drop path that forgets to
+    ///   classify (or classifies without counting) trips this.
+    /// * `default-pf-alive` — with octoNIC firmware, firmware failover
+    ///   keeps the default-PF fallback pointed at a live function whenever
+    ///   any function survives.
+    pub fn audit(&self, a: &mut simcore::Audit) {
+        let lost: u64 = self.queues.iter().map(|q| q.rx_bufs_lost).sum();
+        let classified = self.counters.dropped_pf_dead + self.rx_no_buffer + lost;
+        a.check(
+            "nic",
+            "rx-drop-conservation",
+            self.rx_dropped == classified,
+            || {
+                format!(
+                    "rx_dropped {} != pf_dead {} + no_buffer {} + link_lost {}",
+                    self.rx_dropped, self.counters.dropped_pf_dead, self.rx_no_buffer, lost
+                )
+            },
+        );
+        if self.cfg.steering == SteeringMode::FlowBased {
+            let any_alive = self.pf_alive.iter().any(|&x| x);
+            let default_alive = self.pf_alive(self.mpfs.default_pf());
+            a.check(
+                "nic",
+                "default-pf-alive",
+                !any_alive || default_alive,
+                || {
+                    format!(
+                        "default PF {:?} is dead while {} PFs are alive",
+                        self.mpfs.default_pf(),
+                        self.pf_alive.iter().filter(|&&x| x).count()
+                    )
+                },
+            );
+        }
     }
 
     fn rss_fallback(&self, pf: PfId, flow: &FlowTuple) -> Option<QueueId> {
@@ -1355,6 +1430,100 @@ mod tests {
         );
         assert_eq!(r.nic.rx_dropped(), 1);
         assert!(r.fab.counters().dropped_txns > 0);
+        assert_eq!(
+            r.nic.rx_bufs_lost(q0_),
+            1,
+            "the popped buffer is written off, not silently leaked"
+        );
+        assert_eq!(r.nic.rx_buffers_available(q0_), 3);
+    }
+
+    #[test]
+    fn audit_balances_drops_across_all_classified_paths() {
+        let mut r = rig(SteeringMode::FlowBased);
+        let q0_ = r.q0;
+        // Path 1: empty ring.
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(matches!(out, RxOutcome::DroppedNoBuffer { .. }), "{out:?}");
+        // Path 2: link down under the PF mid-DMA.
+        post_buffers(&mut r, q0_, N0, 1);
+        r.fab.link_down(r.pfs[0]);
+        r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            1,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        // Path 3: every PF dead, nowhere to fail over to.
+        r.fab.link_recover(Time::ZERO, r.pfs[0]);
+        r.nic.fail_pf(Time::ZERO, r.pfs[0]);
+        r.nic.fail_pf(Time::ZERO, r.pfs[1]);
+        r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            2,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert_eq!(r.nic.rx_dropped(), 3);
+        let mut a = simcore::Audit::new();
+        r.nic.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+        assert!(a.checks() >= 2);
+    }
+
+    #[test]
+    fn cq_held_buffers_tracks_unreaped_deliveries() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 2);
+        for seq in 0..2 {
+            r.nic.on_wire_packet(
+                Time::ZERO,
+                MacAddr::local_admin(0),
+                flow(),
+                100,
+                seq,
+                &mut r.fab,
+                &mut r.mem,
+            );
+        }
+        assert_eq!(r.nic.rx_cq_held_buffers(q0_), 2);
+        r.nic.pop_rx_completion(q0_);
+        assert_eq!(r.nic.rx_cq_held_buffers(q0_), 1);
+    }
+
+    #[test]
+    fn default_pf_adopts_survivor_after_total_outage_partial_recovery() {
+        // Chaos-campaign reproducer (seed 0x10c70b05, schedule 592,
+        // minimized): kill PF1, then PF0 — no survivor, so the default-PF
+        // fallback has nowhere to move — then recover only PF1. Firmware
+        // must adopt PF1 as the default instead of blackholing unmatched
+        // traffic on dead PF0 forever.
+        let mut r = rig(SteeringMode::FlowBased);
+        r.nic.fail_pf(Time::ZERO, r.pfs[1]);
+        r.nic.fail_pf(Time::ZERO, r.pfs[0]);
+        r.nic.recover_pf(r.pfs[1]);
+        assert_eq!(r.nic.mpfs().default_pf(), r.pfs[1]);
+        let mut a = simcore::Audit::new();
+        r.nic.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+        // The home PF coming back reclaims its configured role.
+        r.nic.recover_pf(r.pfs[0]);
+        assert_eq!(r.nic.mpfs().default_pf(), r.pfs[0]);
     }
 
     #[test]

@@ -90,6 +90,13 @@ impl<T> DescRing<T> {
         self.entries.front().map(|(_, e)| e)
     }
 
+    /// Outstanding (posted but unconsumed) entries, oldest first. Audit
+    /// code walks completion queues with this to count resources (e.g. Rx
+    /// buffers) parked in CQEs the host has not reaped yet.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|(_, e)| e)
+    }
+
     /// Outstanding (posted but unconsumed) entries.
     pub fn len(&self) -> usize {
         self.entries.len()

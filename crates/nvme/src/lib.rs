@@ -20,4 +20,4 @@ pub mod media;
 pub mod ssd;
 
 pub use media::MediaConfig;
-pub use ssd::{PortPolicy, Ssd, SsdConfig};
+pub use ssd::{PortPolicy, ReadResult, Ssd, SsdConfig, SsdRobustness};

@@ -2,7 +2,7 @@
 
 use memsys::{MemSystem, NodeId, PhysAddr};
 use pcie::{PcieFabric, PfId};
-use simcore::Time;
+use simcore::{Dur, Time};
 
 use crate::media::{Media, MediaConfig};
 
@@ -30,15 +30,55 @@ pub struct SsdConfig {
     pub media: MediaConfig,
     /// Data-DMA port selection.
     pub policy: PortPolicy,
+    /// Command retry budget: how many times a timed-out DMA hop or an
+    /// uncorrectable media read is re-attempted before the command
+    /// completes with error status.
+    pub retry_limit: u32,
+    /// Base command timeout; doubles per retry (exponent bounded), the
+    /// same bounded-exponential-backoff shape the kernel's doorbell and
+    /// steering recovery use.
+    pub retry_backoff: Dur,
+}
+
+impl SsdConfig {
+    /// Configuration with the default NVMe recovery knobs (4 retries,
+    /// 50 µs base timeout).
+    pub fn new(media: MediaConfig, policy: PortPolicy) -> Self {
+        SsdConfig {
+            media,
+            policy,
+            retry_limit: 4,
+            retry_backoff: Dur::from_us(50),
+        }
+    }
 }
 
 /// Result of one read command.
 #[derive(Debug, Clone, Copy)]
 pub struct ReadResult {
-    /// When the data and the completion entry are visible in host memory.
+    /// When the data and the completion entry are visible in host memory —
+    /// or, for a failed command, when the driver observed the failure (the
+    /// error CQE landing, or the final timeout expiring).
     pub done_at: Time,
     /// The PF the data moved through.
     pub data_pf: PfId,
+    /// The command failed (retry budget exhausted on a dead link or on
+    /// uncorrectable media): no data reached the host buffer.
+    pub error: bool,
+}
+
+/// Recovery counters: what the drive + driver absorbed instead of
+/// panicking. Deterministic for a given run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SsdRobustness {
+    /// DMA hops that timed out (link down under the port).
+    pub timeouts: u64,
+    /// Re-attempts issued (DMA re-issues plus media re-reads).
+    pub retries: u64,
+    /// Commands that exhausted the retry budget and completed with error.
+    pub failed_commands: u64,
+    /// Uncorrectable media reads encountered (injected faults).
+    pub media_errors: u64,
 }
 
 /// Transfer-buffer slots: how many block-sized data transfers the
@@ -53,10 +93,42 @@ pub struct Ssd {
     ports: Vec<PfId>,
     media: Media,
     policy: PortPolicy,
+    retry_limit: u32,
+    retry_backoff: Dur,
     sq_addr: PhysAddr,
     cq_addr: PhysAddr,
     reads: u64,
+    media_errors_pending: u32,
+    robust: SsdRobustness,
     xfer_done: std::collections::VecDeque<Time>,
+}
+
+/// Issues a DMA hop with command-timeout recovery: each failed attempt is
+/// detected after a timeout that doubles per retry (exponent bounded), and
+/// the next attempt is issued at the backed-off time. Returns the backoff
+/// accumulated before success (`Dur::ZERO` on a clean first try) and the
+/// hop's duration, or `None` once the budget is spent.
+fn dma_with_retry(
+    limit: u32,
+    backoff: Dur,
+    robust: &mut SsdRobustness,
+    base: Time,
+    mut hop: impl FnMut(Time) -> Option<Dur>,
+) -> (Dur, Option<Dur>) {
+    let mut delay = Dur::ZERO;
+    let mut attempt = 0u32;
+    loop {
+        if let Some(d) = hop(base + delay) {
+            return (delay, Some(d));
+        }
+        robust.timeouts += 1;
+        delay += backoff * (1u64 << attempt.min(10));
+        if attempt >= limit {
+            return (delay, None);
+        }
+        robust.retries += 1;
+        attempt += 1;
+    }
 }
 
 impl Ssd {
@@ -77,11 +149,28 @@ impl Ssd {
             ports,
             media: Media::new(id, cfg.media),
             policy: cfg.policy,
+            retry_limit: cfg.retry_limit,
+            retry_backoff: cfg.retry_backoff,
             sq_addr: mem.alloc(queue_node, SQE_BYTES * 1024),
             cq_addr: mem.alloc(queue_node, CQE_BYTES * 1024),
             reads: 0,
+            media_errors_pending: 0,
+            robust: SsdRobustness::default(),
             xfer_done: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Arms `errors` uncorrectable media reads: each of the next `errors`
+    /// flash accesses comes back bad and costs a controller-level re-read
+    /// (bounded by the retry budget). This is the drive-side half of
+    /// [`simcore::FaultKind::MediaFault`].
+    pub fn inject_media_fault(&mut self, errors: u8) {
+        self.media_errors_pending += u32::from(errors);
+    }
+
+    /// Recovery counters accumulated since construction.
+    pub fn robustness(&self) -> SsdRobustness {
+        self.robust
     }
 
     /// The drive's ports.
@@ -118,11 +207,25 @@ impl Ssd {
         // Fetch the submission-queue entry. All PCIe/memory hops are
         // reserved at `now` with durations summed (see pcie::fabric); the
         // per-drive flash FIFO is reserved at the command's arrival, which
-        // is monotone per drive.
+        // is monotone per drive. A hop that vanishes into a dead link is
+        // re-issued with bounded exponential backoff; a spent budget
+        // completes the command with error status instead of panicking.
+        let (limit, backoff) = (self.retry_limit, self.retry_backoff);
         let slot = self.sq_addr.offset((self.reads % 1024) * SQE_BYTES);
-        let cmd_dur = fabric
-            .dma_read(now, cmd_port, mem, slot, SQE_BYTES)
-            .expect("SSD links are not fault-injected");
+        let cq_slot = self.cq_addr.offset((self.reads % 1024) * CQE_BYTES);
+        let (cmd_delay, cmd_dur) = dma_with_retry(limit, backoff, &mut self.robust, now, |t| {
+            fabric.dma_read(t, cmd_port, mem, slot, SQE_BYTES)
+        });
+        let Some(cmd_dur) = cmd_dur else {
+            // The controller never saw the command; the driver's final
+            // timeout is the failure point and no CQE ever lands.
+            self.robust.failed_commands += 1;
+            return ReadResult {
+                done_at: now + cmd_delay,
+                data_pf: cmd_port,
+                error: true,
+            };
+        };
         // Flash cannot start until a transfer-buffer slot frees (the
         // controller's internal buffer backpressures the NAND pipeline when
         // host DMA is slow — e.g. a congested interconnect). The slot that
@@ -133,24 +236,70 @@ impl Ssd {
         } else {
             Time::ZERO
         };
-        let flash_done = self.media.read((now + cmd_dur).max(gate), len);
+        let mut flash_done = self.media.read((now + cmd_delay + cmd_dur).max(gate), len);
+        // Injected media faults: each pending error spoils one full flash
+        // access; the controller re-reads after a backed-off recovery step,
+        // within the same bounded budget.
+        let mut media_attempt = 0u32;
+        let mut media_ok = true;
+        while self.media_errors_pending > 0 {
+            self.media_errors_pending -= 1;
+            self.robust.media_errors += 1;
+            if media_attempt >= limit {
+                media_ok = false;
+                break;
+            }
+            self.robust.retries += 1;
+            let step = backoff * (1u64 << media_attempt.min(10));
+            flash_done = self.media.read(flash_done + step, len);
+            media_attempt += 1;
+        }
+        if !media_ok {
+            // Uncorrectable: no data transfer, but the error CQE still has
+            // to reach the host (with the same hop recovery).
+            let (cqe_delay, cqe_dur) = dma_with_retry(limit, backoff, &mut self.robust, now, |t| {
+                fabric.dma_write(t, data_port, mem, cq_slot, CQE_BYTES)
+            });
+            self.robust.failed_commands += 1;
+            return ReadResult {
+                done_at: flash_done + cqe_delay + cqe_dur.unwrap_or(Dur::ZERO),
+                data_pf: data_port,
+                error: true,
+            };
+        }
         // Data to host, then the CQE (bandwidth reserved at the submission
         // event time, like every shared-resource reservation in the model).
-        let data_dur = fabric
-            .dma_write(now, data_port, mem, buf, len)
-            .expect("SSD links are not fault-injected");
-        let cq_slot = self.cq_addr.offset((self.reads % 1024) * CQE_BYTES);
-        let cqe_dur = fabric
-            .dma_write(now, data_port, mem, cq_slot, CQE_BYTES)
-            .expect("SSD links are not fault-injected");
-        let t = flash_done + data_dur + cqe_dur;
-        self.xfer_done.push_back(flash_done + data_dur);
+        let (data_delay, data_dur) = dma_with_retry(limit, backoff, &mut self.robust, now, |t| {
+            fabric.dma_write(t, data_port, mem, buf, len)
+        });
+        let Some(data_dur) = data_dur else {
+            self.robust.failed_commands += 1;
+            return ReadResult {
+                done_at: flash_done + data_delay,
+                data_pf: data_port,
+                error: true,
+            };
+        };
+        let (cqe_delay, cqe_dur) = dma_with_retry(limit, backoff, &mut self.robust, now, |t| {
+            fabric.dma_write(t, data_port, mem, cq_slot, CQE_BYTES)
+        });
+        let Some(cqe_dur) = cqe_dur else {
+            self.robust.failed_commands += 1;
+            return ReadResult {
+                done_at: flash_done + data_delay + data_dur + cqe_delay,
+                data_pf: data_port,
+                error: true,
+            };
+        };
+        let t = flash_done + data_delay + data_dur + cqe_delay + cqe_dur;
+        self.xfer_done.push_back(flash_done + data_delay + data_dur);
         if self.xfer_done.len() >= XFER_BUFFER_SLOTS {
             self.xfer_done.pop_front();
         }
         ReadResult {
             done_at: t,
             data_pf: data_port,
+            error: false,
         }
     }
 
@@ -181,10 +330,7 @@ mod tests {
         let p1 = fab.add_endpoint(N1, PcieGen::Gen3, 4);
         let ssd = Ssd::new(
             0,
-            SsdConfig {
-                media: MediaConfig::pm1725a(),
-                policy,
-            },
+            SsdConfig::new(MediaConfig::pm1725a(), policy),
             vec![p0, p1],
             &mut mem,
             N1,
@@ -250,6 +396,72 @@ mod tests {
     }
 
     #[test]
+    fn dead_link_command_fails_after_bounded_retries() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::Fixed(0));
+        let buf = mem.alloc(N0, 128 * 1024);
+        fab.link_down(ssd.ports()[0]);
+        let r = ssd.read(Time::ZERO, buf, 128 * 1024, &mut fab, &mut mem);
+        assert!(r.error, "no data can cross a dead link");
+        let rb = ssd.robustness();
+        assert_eq!(rb.failed_commands, 1);
+        // limit retries + the initial attempt all timed out; the budget is
+        // bounded, so the command fails instead of spinning forever.
+        assert_eq!(rb.retries, 4);
+        assert_eq!(rb.timeouts, 5);
+        // The failure point reflects the accumulated (doubling) timeouts:
+        // 50 + 100 + 200 + 400 + 800 µs.
+        assert_eq!(r.done_at, Time::ZERO + Dur::from_us(1550));
+    }
+
+    #[test]
+    fn recovered_link_serves_the_next_command() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::Fixed(0));
+        let buf = mem.alloc(N0, 4096);
+        fab.link_down(ssd.ports()[0]);
+        assert!(ssd.read(Time::ZERO, buf, 4096, &mut fab, &mut mem).error);
+        fab.link_recover(Time::from_ms(2), ssd.ports()[0]);
+        let r = ssd.read(Time::from_ms(3), buf, 4096, &mut fab, &mut mem);
+        assert!(!r.error, "retry state never wedges the drive");
+        assert_eq!(ssd.robustness().failed_commands, 1);
+    }
+
+    #[test]
+    fn media_fault_is_retried_and_recovered() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::Fixed(0));
+        let buf = mem.alloc(N0, 4096);
+        let clean = ssd.read(Time::ZERO, buf, 4096, &mut fab, &mut mem);
+        ssd.inject_media_fault(1);
+        let r = ssd.read(Time::ZERO, buf, 4096, &mut fab, &mut mem);
+        assert!(!r.error, "one bad read is within the budget");
+        let rb = ssd.robustness();
+        assert_eq!(rb.media_errors, 1);
+        assert!(rb.retries >= 1);
+        assert!(
+            r.done_at > clean.done_at,
+            "the re-read costs flash time: {} vs {}",
+            r.done_at,
+            clean.done_at
+        );
+    }
+
+    #[test]
+    fn uncorrectable_media_exhausts_the_budget_with_an_error_cqe() {
+        let (mut mem, mut fab, mut ssd) = setup(PortPolicy::Fixed(0));
+        let buf = mem.alloc(N0, 4096);
+        ssd.inject_media_fault(10);
+        let r = ssd.read(Time::ZERO, buf, 4096, &mut fab, &mut mem);
+        assert!(r.error);
+        let rb = ssd.robustness();
+        assert_eq!(rb.failed_commands, 1);
+        assert_eq!(rb.media_errors, 5, "initial read + 4 retries all spoiled");
+        // The leftover armed errors hit (and are absorbed by) later reads.
+        let r2 = ssd.read(Time::from_ms(5), buf, 4096, &mut fab, &mut mem);
+        assert!(r2.error, "5 errors left > 4-retry budget");
+        let r3 = ssd.read(Time::from_ms(10), buf, 4096, &mut fab, &mut mem);
+        assert!(!r3.error, "queue drains; the drive heals");
+    }
+
+    #[test]
     #[should_panic(expected = "fixed port out of range")]
     fn bad_fixed_port() {
         let mut mem = MemSystem::new(MemConfig::dual_socket_skylake());
@@ -257,10 +469,7 @@ mod tests {
         let p0 = fab.add_endpoint(N0, PcieGen::Gen3, 4);
         Ssd::new(
             0,
-            SsdConfig {
-                media: MediaConfig::pm1725a(),
-                policy: PortPolicy::Fixed(3),
-            },
+            SsdConfig::new(MediaConfig::pm1725a(), PortPolicy::Fixed(3)),
             vec![p0],
             &mut mem,
             N0,

@@ -7,7 +7,7 @@
 //! panicking.
 
 use memsys::{MemSystem, NodeId, PhysAddr};
-use simcore::{BwLink, Dur, FaultKind, Time};
+use simcore::{Audit, BwLink, Dur, FaultKind, Time};
 use std::cell::Cell;
 
 use crate::bifurcation::Bifurcation;
@@ -70,6 +70,10 @@ pub struct FabricCounters {
     pub dropped_txns: u64,
     /// Link retraining events (degrade or recover).
     pub retrains: u64,
+    /// Transactions issued (DMA reads/writes, MMIO, interrupts).
+    pub issued_txns: u64,
+    /// Transactions that completed successfully.
+    pub ok_txns: u64,
 }
 
 #[derive(Debug)]
@@ -100,6 +104,13 @@ pub struct PcieFabric {
     invalid_refs: Cell<u64>,
     dropped_txns: u64,
     retrains: u64,
+    /// Transactions entering any of the four transaction methods.
+    issued_txns: u64,
+    /// Transactions that returned a duration.
+    ok_txns: u64,
+    /// Transactions rejected for an unknown endpoint (subset of
+    /// `invalid_refs`, which also counts non-transaction lookups).
+    invalid_txns: u64,
 }
 
 impl PcieFabric {
@@ -111,6 +122,9 @@ impl PcieFabric {
             invalid_refs: Cell::new(0),
             dropped_txns: 0,
             retrains: 0,
+            issued_txns: 0,
+            ok_txns: 0,
+            invalid_txns: 0,
         }
     }
 
@@ -237,6 +251,7 @@ impl PcieFabric {
         addr: PhysAddr,
         len: u64,
     ) -> Option<Dur> {
+        self.issued_txns += 1;
         let wire = wire_bytes(len, self.cfg.max_payload);
         let node = self.usable_ep(pf)?.node;
         // Hops reserved at `now`, durations summed: reserving downstream at
@@ -245,6 +260,7 @@ impl PcieFabric {
         let up_dur =
             self.ep_mut(pf)?.upstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
         let mem_stall = mem.dma_write(now, node, addr, len);
+        self.ok_txns += 1;
         Some(up_dur + mem_stall)
     }
 
@@ -259,6 +275,7 @@ impl PcieFabric {
         addr: PhysAddr,
         len: u64,
     ) -> Option<Dur> {
+        self.issued_txns += 1;
         let node = self.usable_ep(pf)?.node;
         // Read request TLP upstream (header only); hops reserved at `now`,
         // durations summed (see dma_write).
@@ -270,6 +287,7 @@ impl PcieFabric {
         let wire = wire_bytes(len, self.cfg.max_payload);
         let data_dur =
             self.ep_mut(pf)?.downstream.reserve(now, wire).since(now) + self.cfg.switch_latency;
+        self.ok_txns += 1;
         Some(req_dur + mem_stall + data_dur)
     }
 
@@ -285,9 +303,11 @@ impl PcieFabric {
         pf: PfId,
         mem: &MemSystem,
     ) -> Option<Dur> {
+        self.issued_txns += 1;
         let hop = mem.mmio_extra_hops(core_node, self.usable_ep(pf)?.node);
         let wire = wire_bytes(8, self.cfg.max_payload);
         let done = self.ep_mut(pf)?.downstream.reserve(now, wire);
+        self.ok_txns += 1;
         Some(done.since(now) + hop + self.cfg.switch_latency)
     }
 
@@ -300,9 +320,11 @@ impl PcieFabric {
         mem: &MemSystem,
         target: NodeId,
     ) -> Option<Dur> {
+        self.issued_txns += 1;
         let hop = mem.interrupt_extra_hops(self.usable_ep(pf)?.node, target);
         let wire = wire_bytes(4, self.cfg.max_payload);
         let done = self.ep_mut(pf)?.upstream.reserve(now, wire);
+        self.ok_txns += 1;
         Some(done.since(now) + hop + self.cfg.switch_latency)
     }
 
@@ -324,7 +346,41 @@ impl PcieFabric {
             invalid_refs: self.invalid_refs.get(),
             dropped_txns: self.dropped_txns,
             retrains: self.retrains,
+            issued_txns: self.issued_txns,
+            ok_txns: self.ok_txns,
         }
+    }
+
+    /// Audits transaction conservation into `a`: every transaction that
+    /// entered the fabric must be accounted exactly once as completed,
+    /// dropped on a Down link, or rejected for an unknown endpoint. The
+    /// four tallies are maintained at independent code sites, so a future
+    /// early-return that skips its bookkeeping shows up here.
+    pub fn audit(&self, a: &mut Audit) {
+        let accounted = self.ok_txns + self.dropped_txns + self.invalid_txns;
+        a.check(
+            "pcie",
+            "txn-conservation",
+            self.issued_txns == accounted,
+            || {
+                format!(
+                    "issued {} != ok {} + dropped {} + invalid {}",
+                    self.issued_txns, self.ok_txns, self.dropped_txns, self.invalid_txns
+                )
+            },
+        );
+        a.check(
+            "pcie",
+            "invalid-ref-superset",
+            self.invalid_txns <= self.invalid_refs.get(),
+            || {
+                format!(
+                    "txn-path invalid refs {} exceed total invalid refs {}",
+                    self.invalid_txns,
+                    self.invalid_refs.get()
+                )
+            },
+        );
     }
 
     fn ep(&self, pf: PfId) -> Option<&Endpoint> {
@@ -348,6 +404,7 @@ impl PcieFabric {
     fn usable_ep(&mut self, pf: PfId) -> Option<&Endpoint> {
         if pf.0 >= self.endpoints.len() {
             self.invalid_refs.set(self.invalid_refs.get() + 1);
+            self.invalid_txns += 1;
             return None;
         }
         if self.endpoints[pf.0].state == LinkState::Down {
@@ -559,6 +616,29 @@ mod tests {
             stalled >= FabricConfig::default().retrain_latency,
             "stalled={stalled} behind retraining, quiet={quiet}"
         );
+    }
+
+    #[test]
+    fn txn_audit_balances_across_ok_dropped_and_invalid() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        // ok
+        fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 1500)
+            .unwrap();
+        fab.interrupt(Time::ZERO, pfs[0], &mem, N0).unwrap();
+        // dropped
+        fab.link_down(pfs[0]);
+        assert_eq!(fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 64), None);
+        // invalid
+        assert_eq!(fab.mmio_write(Time::ZERO, N0, PfId(42), &mem), None);
+        let c = fab.counters();
+        assert_eq!(c.issued_txns, 4);
+        assert_eq!(c.ok_txns, 2);
+        assert_eq!(c.dropped_txns, 1);
+        let mut a = Audit::new();
+        fab.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+        assert_eq!(a.checks(), 2);
     }
 
     #[test]

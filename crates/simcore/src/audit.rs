@@ -1,0 +1,136 @@
+//! System-wide invariant audit: conservation checks with a shared report.
+//!
+//! Chaos campaigns (`simcore::campaign`) throw thousands of generated fault
+//! schedules at the stack; passing them means more than "did not panic". Each
+//! substrate owns conservation invariants — NIC buffers are neither leaked
+//! nor double-freed, every PCIe transaction is accounted as completed,
+//! dropped, or rejected, event time never runs backwards — and this module
+//! provides the common vocabulary for checking them: an [`Audit`] collector
+//! that subsystems append [`Violation`]s to.
+//!
+//! The checkers themselves live next to the state they inspect (e.g.
+//! `PcieFabric::audit`, `Nic::audit`, `Host::audit` in the device crates);
+//! they are cheap enough to run per-step in debug builds and are always run
+//! at quiesce points (end of a schedule) in release campaigns.
+//!
+//! # Example
+//! ```
+//! use simcore::audit::Audit;
+//!
+//! let mut a = Audit::new();
+//! a.check("pool", "conservation", 2 + 2 == 4, || "unreachable".into());
+//! a.check("ring", "occupancy", false, || "3 descriptors missing".into());
+//! assert_eq!(a.checks(), 2);
+//! assert_eq!(a.violations().len(), 1);
+//! assert!(!a.ok());
+//! ```
+
+use std::fmt;
+
+/// One failed invariant check: which subsystem, which invariant, and a
+/// human-readable account of the mismatch (actual vs. expected numbers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The subsystem that owns the invariant (`"pcie"`, `"nic"`, …).
+    pub subsystem: &'static str,
+    /// Short invariant name (`"txn-conservation"`, `"rx-buf-conservation"`).
+    pub check: &'static str,
+    /// The mismatch, with enough numbers to debug from the report alone.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}] {}", self.subsystem, self.check, self.detail)
+    }
+}
+
+/// Collector for invariant checks: counts every check performed and records
+/// each violation. One `Audit` typically spans one schedule run; campaign
+/// harnesses aggregate many.
+#[derive(Debug, Clone, Default)]
+pub struct Audit {
+    violations: Vec<Violation>,
+    checks: u64,
+}
+
+impl Audit {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invariant check. `detail` is only evaluated on failure,
+    /// so hot per-step audits pay nothing for the passing case.
+    pub fn check(
+        &mut self,
+        subsystem: &'static str,
+        check: &'static str,
+        ok: bool,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(Violation {
+                subsystem,
+                check,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Total checks performed (passing and failing).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Every violation recorded so far, in discovery order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether every check so far passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Folds another report into this one (campaign aggregation).
+    pub fn merge(&mut self, other: Audit) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_checks_leave_no_violations() {
+        let mut a = Audit::new();
+        a.check("x", "y", true, || unreachable!("lazy detail"));
+        assert!(a.ok());
+        assert_eq!(a.checks(), 1);
+    }
+
+    #[test]
+    fn failures_record_subsystem_and_detail() {
+        let mut a = Audit::new();
+        a.check("nic", "rx-buf-conservation", false, || "511 != 512".into());
+        assert!(!a.ok());
+        let v = &a.violations()[0];
+        assert_eq!(v.subsystem, "nic");
+        assert_eq!(format!("{v}"), "[nic/rx-buf-conservation] 511 != 512");
+    }
+
+    #[test]
+    fn merge_accumulates_both_counts() {
+        let mut a = Audit::new();
+        a.check("a", "c1", true, String::new);
+        let mut b = Audit::new();
+        b.check("b", "c2", false, || "boom".into());
+        a.merge(b);
+        assert_eq!(a.checks(), 2);
+        assert_eq!(a.violations().len(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Chaos campaigns: generated fault schedules and schedule minimization.
+//!
+//! Hand-written [`FaultPlan`]s probe the failure interleavings someone
+//! thought of; a *campaign* probes the ones nobody did. From one campaign
+//! seed, [`plan_for`] derives an unbounded family of random-but-deterministic
+//! schedules — schedule `i` of campaign `s` is the same plan on every
+//! machine, forever — mixing uniform background faults with the patterns
+//! that historically break recovery code:
+//!
+//! * **bursts** — faults clustered within microseconds of each other
+//!   (including same-instant events) on the heels of a previous fault;
+//! * **overlaps** — a new fault on a PF whose previous fault has not
+//!   recovered yet (fail-while-failed, down-while-down);
+//! * **zero-gap pairs** — a recovery scheduled at the *same instant* as its
+//!   failure, the degenerate flap;
+//! * **orphans** — recoveries with no matching failure and failures with no
+//!   recovery, in whatever order the dice produce.
+//!
+//! When a schedule trips an invariant (see [`crate::audit`]), [`shrink`]
+//! minimizes it with delta debugging (ddmin): it repeatedly re-runs the
+//! failing predicate on subsets and complements of the event list, then
+//! polishes greedily, returning a locally minimal plan — typically one to
+//! three events — that still reproduces the violation. The shrunk plan plus
+//! the campaign seed *is* the bug report.
+
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::rng::SimRng;
+use crate::time::{Dur, Time};
+
+/// Parameters of a campaign: the seed plus the shape of each generated
+/// schedule. Two configs with the same fields generate identical plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Campaign seed; schedule `i` derives its RNG as `seed(s).fork(i)`.
+    pub seed: u64,
+    /// Faults land in `(0, horizon)`.
+    pub horizon: Dur,
+    /// Targets are PF indices in `0..pf_count` (drive indices for
+    /// [`FaultKind::MediaFault`]).
+    pub pf_count: usize,
+    /// Minimum faults per schedule.
+    pub faults_min: usize,
+    /// Maximum faults per schedule (inclusive).
+    pub faults_max: usize,
+    /// Probability that a fault clusters within microseconds of the
+    /// previous one instead of landing uniformly in the horizon.
+    pub burst_chance: f64,
+    /// Probability that a fail-type fault gets a matching recovery pushed
+    /// (at a gap that may be zero).
+    pub pair_chance: f64,
+    /// Whether to include NVMe media faults in the kind mix.
+    pub media_faults: bool,
+}
+
+impl CampaignConfig {
+    /// A campaign over `pf_count` PFs with the default shape: 1–12 faults
+    /// per schedule in an 8 ms horizon, 35% bursts, 60% paired recoveries,
+    /// no media faults.
+    pub fn new(seed: u64, pf_count: usize) -> Self {
+        CampaignConfig {
+            seed,
+            horizon: Dur::from_ms(8),
+            pf_count,
+            faults_min: 1,
+            faults_max: 12,
+            burst_chance: 0.35,
+            pair_chance: 0.6,
+            media_faults: false,
+        }
+    }
+}
+
+/// Derives schedule `index` of the campaign. Deterministic: depends only on
+/// `cfg` and `index`, never on call order or host state.
+///
+/// # Panics
+/// Panics if `cfg.pf_count` is zero, `cfg.horizon` is zero, or
+/// `cfg.faults_max < cfg.faults_min`.
+pub fn plan_for(cfg: &CampaignConfig, index: u64) -> FaultPlan {
+    assert!(cfg.pf_count > 0, "need at least one PF to target");
+    assert!(cfg.horizon > Dur::ZERO, "horizon must be positive");
+    assert!(cfg.faults_max >= cfg.faults_min, "faults_max < faults_min");
+    let mut rng = SimRng::seed(cfg.seed).fork(index);
+    let count = cfg.faults_min + rng.below((cfg.faults_max - cfg.faults_min + 1) as u64) as usize;
+    let mut plan = FaultPlan::new();
+    let mut last_at = Time::ZERO + Dur::from_ps(1);
+    let mut last_pf = 0usize;
+    let mut placed = 0usize;
+    while placed < count {
+        let at = if placed > 0 && rng.chance(cfg.burst_chance) {
+            // Burst: within 0–5 µs of the previous fault, with a fat atom
+            // at exactly zero (same-instant collision).
+            if rng.chance(0.25) {
+                last_at
+            } else {
+                last_at + Dur::from_ns(1 + rng.below(5_000))
+            }
+        } else {
+            Time::ZERO + Dur::from_ps(1 + rng.below(cfg.horizon.as_ps().max(2) - 1))
+        };
+        // Overlap bias: a third of follow-on faults re-target the previous
+        // PF regardless of its (unknown here) recovery state.
+        let pf = if placed > 0 && rng.chance(1.0 / 3.0) {
+            last_pf
+        } else {
+            rng.below(cfg.pf_count as u64) as usize
+        };
+        let kinds = if cfg.media_faults { 7 } else { 6 };
+        let kind = match rng.below(kinds) {
+            0 => FaultKind::LinkDown,
+            1 => FaultKind::LinkDegrade {
+                lanes: *rng.pick(&[1u8, 2, 4, 8]),
+                gen: 3,
+            },
+            2 => FaultKind::LinkRecover,
+            3 => FaultKind::PfFail,
+            4 => FaultKind::PfRecover,
+            5 => FaultKind::IrqLoss,
+            _ => FaultKind::MediaFault {
+                errors: 1 + rng.below(3) as u8,
+            },
+        };
+        plan.push(at, pf, kind);
+        placed += 1;
+        // Paired recovery for fail-type kinds, at a gap that may be zero
+        // (the zero-gap flap) and may itself overlap later faults.
+        let recover = match kind {
+            FaultKind::LinkDown => Some(FaultKind::LinkRecover),
+            FaultKind::LinkDegrade { .. } => Some(FaultKind::LinkRecover),
+            FaultKind::PfFail => Some(FaultKind::PfRecover),
+            _ => None,
+        };
+        if let Some(rk) = recover {
+            if placed < count && rng.chance(cfg.pair_chance) {
+                // Zero-gap flaps get a fat atom; otherwise 1 ns – 2 ms.
+                let gap = if rng.chance(0.15) {
+                    Dur::ZERO
+                } else {
+                    Dur::from_ns(1 + rng.below(2_000_000))
+                };
+                plan.push(at + gap, pf, rk);
+                placed += 1;
+            }
+        }
+        last_at = at;
+        last_pf = pf;
+    }
+    plan
+}
+
+/// Minimizes a failing schedule with delta debugging.
+///
+/// `still_failing` runs the system on a candidate plan and reports whether
+/// the original violation still reproduces. The input `plan` must itself
+/// fail (if it does not, it is returned unchanged). The result is *1-minimal*:
+/// removing any single event makes the violation disappear. ddmin narrows in
+/// `O(n log n)` runs for well-behaved failures and degrades to `O(n²)` in
+/// the worst case; the greedy polish pass afterwards guarantees minimality.
+pub fn shrink<F>(plan: &FaultPlan, mut still_failing: F) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    let rebuild = |evs: &[FaultEvent]| {
+        let mut p = FaultPlan::new();
+        for e in evs {
+            p.push(e.at, e.pf, e.kind);
+        }
+        p
+    };
+    let mut events: Vec<FaultEvent> = plan.events().to_vec();
+    if !still_failing(&rebuild(&events)) {
+        return rebuild(&events); // not reproducible: nothing to shrink
+    }
+    if still_failing(&FaultPlan::new()) {
+        return FaultPlan::new(); // fails with no faults at all
+    }
+    let mut n = 2usize.min(events.len().max(1));
+    while events.len() >= 2 {
+        let len = events.len();
+        let chunk = len.div_ceil(n);
+        let mut reduced = false;
+        // Try each subset (one chunk alone) …
+        let subset_hit = (0..n).find_map(|i| {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(len);
+            if lo >= len || hi - lo == len {
+                return None;
+            }
+            let subset = events[lo..hi].to_vec();
+            still_failing(&rebuild(&subset)).then_some(subset)
+        });
+        if let Some(subset) = subset_hit {
+            events = subset;
+            n = 2;
+            reduced = true;
+        }
+        // … then each complement (everything but one chunk).
+        if !reduced {
+            let comp_hit = (0..n).find_map(|i| {
+                let lo = i * chunk;
+                let hi = ((i + 1) * chunk).min(len);
+                if lo >= len || hi == lo || hi - lo == len {
+                    return None;
+                }
+                let mut comp = events[..lo].to_vec();
+                comp.extend_from_slice(&events[hi..]);
+                still_failing(&rebuild(&comp)).then_some(comp)
+            });
+            if let Some(comp) = comp_hit {
+                events = comp;
+                n = (n - 1).max(2);
+                reduced = true;
+            }
+        }
+        if !reduced {
+            if n >= events.len() {
+                break;
+            }
+            n = (2 * n).min(events.len());
+        }
+    }
+    // Greedy polish: drop events one at a time until 1-minimal.
+    loop {
+        let mut removed = false;
+        for i in 0..events.len() {
+            let mut cand = events.clone();
+            cand.remove(i);
+            if still_failing(&rebuild(&cand)) {
+                events = cand;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    rebuild(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> CampaignConfig {
+        CampaignConfig::new(seed, 2)
+    }
+
+    #[test]
+    fn same_seed_and_index_give_identical_plans() {
+        let a = plan_for(&cfg(0xc0ffee), 17);
+        let b = plan_for(&cfg(0xc0ffee), 17);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_indices_give_different_plans() {
+        let c = cfg(0xc0ffee);
+        let a = plan_for(&c, 0);
+        let b = plan_for(&c, 1);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn plans_are_sorted_bounded_and_sized() {
+        let c = cfg(0x5eed);
+        for i in 0..200 {
+            let p = plan_for(&c, i);
+            assert!(p.events().windows(2).all(|w| w[0].at <= w[1].at));
+            assert!(p.events().iter().all(|e| e.pf < c.pf_count));
+            assert!(p.len() >= c.faults_min);
+            // Pairing can add one recovery past the nominal cap.
+            assert!(p.len() <= c.faults_max + 1);
+            assert!(p.events().iter().all(|e| e.at > Time::ZERO));
+        }
+    }
+
+    #[test]
+    fn campaign_exercises_the_edge_patterns() {
+        let c = cfg(0xedfe);
+        let mut same_instant = 0;
+        let mut zero_gap_pairs = 0;
+        let mut overlap_same_pf = 0;
+        for i in 0..400 {
+            let p = plan_for(&c, i);
+            for w in p.events().windows(2) {
+                if w[0].at == w[1].at {
+                    same_instant += 1;
+                    if w[0].pf == w[1].pf
+                        && w[0].kind == FaultKind::PfFail
+                        && w[1].kind == FaultKind::PfRecover
+                    {
+                        zero_gap_pairs += 1;
+                    }
+                }
+                if w[0].pf == w[1].pf {
+                    overlap_same_pf += 1;
+                }
+            }
+        }
+        assert!(
+            same_instant > 0,
+            "bursts never collided to the same instant"
+        );
+        assert!(
+            zero_gap_pairs > 0,
+            "no zero-gap fail/recover pair generated"
+        );
+        assert!(overlap_same_pf > 0, "no same-PF consecutive faults");
+    }
+
+    #[test]
+    fn media_faults_only_when_enabled() {
+        let mut with = cfg(0xabc);
+        with.media_faults = true;
+        let without = cfg(0xabc);
+        let has_media = |c: &CampaignConfig| {
+            (0..100).any(|i| {
+                plan_for(c, i)
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e.kind, FaultKind::MediaFault { .. }))
+            })
+        };
+        assert!(has_media(&with));
+        assert!(!has_media(&without));
+    }
+
+    #[test]
+    fn shrink_isolates_a_single_culprit_event() {
+        // "Violation" iff the plan contains any PfFail on PF 0; ensure at
+        // least one culprit exists among the generated noise.
+        let plan = plan_for(&cfg(0xbead), 3).with(Time::from_ms(1), 0, FaultKind::PfFail);
+        assert!(plan.len() >= 3, "want a multi-event plan to shrink");
+        let fails = |p: &FaultPlan| {
+            p.events()
+                .iter()
+                .any(|e| e.pf == 0 && e.kind == FaultKind::PfFail)
+        };
+        let min = shrink(&plan, fails);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.events()[0].kind, FaultKind::PfFail);
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn shrink_keeps_a_two_event_interaction() {
+        // Failure needs a LinkDown *followed by* a PfFail on the same PF —
+        // a genuine two-event interaction; ddmin must keep exactly both.
+        let mut plan = FaultPlan::new();
+        for i in 0..6 {
+            plan.push(Time::from_ms(i + 1), 1, FaultKind::IrqLoss);
+        }
+        plan.push(Time::from_ms(2), 0, FaultKind::LinkDown);
+        plan.push(Time::from_ms(5), 0, FaultKind::PfFail);
+        let fails = |p: &FaultPlan| {
+            let down = p
+                .events()
+                .iter()
+                .position(|e| e.pf == 0 && e.kind == FaultKind::LinkDown);
+            match down {
+                Some(i) => p.events()[i..]
+                    .iter()
+                    .any(|e| e.pf == 0 && e.kind == FaultKind::PfFail),
+                None => false,
+            }
+        };
+        let min = shrink(&plan, fails);
+        assert_eq!(min.len(), 2);
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn shrink_returns_input_when_not_reproducible() {
+        let plan = plan_for(&cfg(0x11), 0);
+        let min = shrink(&plan, |_| false);
+        assert_eq!(min.events(), plan.events());
+    }
+
+    #[test]
+    fn shrink_handles_unconditional_failure() {
+        let plan = plan_for(&cfg(0x12), 0);
+        let min = shrink(&plan, |_| true);
+        assert!(min.is_empty(), "failure independent of the plan ⇒ empty");
+    }
+}

@@ -39,6 +39,15 @@ pub enum FaultKind {
     /// One interrupt from this PF's queues is silently lost; the driver's
     /// watchdog must notice and recover.
     IrqLoss,
+    /// NVMe media fault: the drive's flash array returns uncorrectable
+    /// errors for the next `errors` commands. The host sees command
+    /// timeouts and must retry with bounded exponential backoff. For this
+    /// kind the `pf` index names a *drive*, not a NIC PF; NIC-only hosts
+    /// absorb it as a no-op.
+    MediaFault {
+        /// Consecutive commands that fail before the media heals.
+        errors: u8,
+    },
 }
 
 /// One scheduled fault: `kind` applied to PF index `pf` at time `at`.
@@ -142,7 +151,7 @@ impl FaultPlan {
         for _ in 0..count {
             let at = Time::ZERO + Dur::from_ps(1 + rng.below(horizon.as_ps().max(2) - 1));
             let pf = rng.below(pf_count as u64) as usize;
-            let kind = match rng.below(6) {
+            let kind = match rng.below(7) {
                 0 => FaultKind::LinkDown,
                 1 => FaultKind::LinkDegrade {
                     lanes: *rng.pick(&[1u8, 2, 4, 8]),
@@ -151,7 +160,10 @@ impl FaultPlan {
                 2 => FaultKind::LinkRecover,
                 3 => FaultKind::PfFail,
                 4 => FaultKind::PfRecover,
-                _ => FaultKind::IrqLoss,
+                5 => FaultKind::IrqLoss,
+                _ => FaultKind::MediaFault {
+                    errors: 1 + rng.below(3) as u8,
+                },
             };
             plan.push(at, pf, kind);
         }
@@ -267,6 +279,71 @@ mod tests {
         assert_eq!(a.events(), b.events());
         assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
         assert!(a.events().iter().all(|e| e.pf < 2));
+    }
+
+    #[test]
+    fn overlapping_faults_on_same_pf_keep_insertion_order() {
+        // Two outage windows on PF 0 that overlap (the second fail lands
+        // while the first is still unrecovered) plus a link fault inside
+        // the window: the plan must keep all of them, time-sorted, with
+        // same-instant events in insertion order.
+        let mut p = FaultPlan::new();
+        p.push(Time::from_ms(1), 0, FaultKind::PfFail);
+        p.push(Time::from_ms(3), 0, FaultKind::PfRecover);
+        p.push(Time::from_ms(2), 0, FaultKind::PfFail); // overlaps the outage
+        p.push(Time::from_ms(2), 0, FaultKind::LinkDown); // same instant, same PF
+        assert_eq!(p.len(), 4);
+        let due = p.pop_due(Time::from_ms(10));
+        assert_eq!(due[0].kind, FaultKind::PfFail);
+        assert_eq!(due[1].kind, FaultKind::PfFail);
+        assert_eq!(due[2].kind, FaultKind::LinkDown);
+        assert_eq!(due[3].kind, FaultKind::PfRecover);
+    }
+
+    #[test]
+    fn zero_gap_fail_recover_pair_fires_in_order() {
+        // Fail and recover at the *same instant*: both pop in one pop_due
+        // call, fail first (FIFO on equal times), so the applied state is
+        // "recovered" — a flap of zero duration, not a stuck-dead PF.
+        let t = Time::from_ms(4);
+        let mut p = FaultPlan::new()
+            .with(t, 1, FaultKind::PfFail)
+            .with(t, 1, FaultKind::PfRecover);
+        let due = p.pop_due(t);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].kind, FaultKind::PfFail);
+        assert_eq!(due[1].kind, FaultKind::PfRecover);
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed before the run")]
+    fn push_behind_the_cursor_rejected() {
+        // The cursor has already passed 2 ms; pushing an event at 1 ms
+        // would retroactively change history and is rejected outright.
+        let mut p = FaultPlan::pf_outage(0, Time::from_ms(2), Time::from_ms(6));
+        p.pop_due(Time::from_ms(3));
+        p.push(Time::from_ms(1), 0, FaultKind::LinkDown);
+    }
+
+    #[test]
+    fn rewind_reopens_the_plan_for_building() {
+        let mut p = FaultPlan::pf_outage(0, Time::from_ms(1), Time::from_ms(2));
+        p.pop_due(Time::from_ms(5));
+        p.rewind();
+        p.push(Time::from_ms(3), 0, FaultKind::IrqLoss);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.pop_due(Time::from_ms(5)).len(), 3);
+    }
+
+    #[test]
+    fn randomized_reaches_media_faults() {
+        let mut r = SimRng::seed(0xfa02);
+        let p = FaultPlan::randomized(&mut r, Dur::from_ms(10), 2, 256);
+        assert!(p
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::MediaFault { errors } if errors >= 1)));
     }
 
     #[test]

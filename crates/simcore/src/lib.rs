@@ -28,6 +28,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
+pub mod campaign;
 pub mod faults;
 pub mod hash;
 pub mod link;
@@ -37,6 +39,8 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::{Audit, Violation};
+pub use campaign::CampaignConfig;
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use link::BwLink;

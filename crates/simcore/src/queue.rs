@@ -17,6 +17,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::audit::Audit;
 use crate::time::Time;
 
 /// A pending event: fires at `at`, carrying payload `E`.
@@ -115,6 +116,12 @@ pub struct EventQueue<E> {
     overflow: VecDeque<Entry<E>>,
     next_seq: u64,
     popped: u64,
+    /// Time of the most recent pop, for monotonicity auditing.
+    last_pop: Option<Time>,
+    /// Pops whose time preceded the previous pop's. A well-behaved
+    /// simulation never schedules behind its own clock, so this stays 0;
+    /// the audit layer flags any other value.
+    time_regressions: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -129,6 +136,8 @@ impl<E> EventQueue<E> {
             overflow: VecDeque::new(),
             next_seq: 0,
             popped: 0,
+            last_pop: None,
+            time_regressions: 0,
         }
     }
 
@@ -287,6 +296,10 @@ impl<E> EventQueue<E> {
         let e = self.buckets[b].pop_front().expect("settled cursor");
         self.wheel_len -= 1;
         self.popped += 1;
+        if self.last_pop.is_some_and(|lp| e.at < lp) {
+            self.time_regressions += 1;
+        }
+        self.last_pop = Some(e.at);
         self.settle();
         Some((e.at, e.payload))
     }
@@ -318,6 +331,46 @@ impl<E> EventQueue<E> {
     pub fn events_processed(&self) -> u64 {
         self.popped
     }
+
+    /// Pops that went backwards in time relative to the previous pop. See
+    /// [`audit`](Self::audit).
+    pub fn time_regressions(&self) -> u64 {
+        self.time_regressions
+    }
+
+    /// Audits the queue's invariants into `a`:
+    ///
+    /// * **time-monotonicity** — pop times never decreased. Simulation
+    ///   loops only schedule at or after their current event time (the
+    ///   reservation-clock rule), so a regression means some handler
+    ///   scheduled into the past.
+    /// * **occupancy** — the wheel's entry count matches the buckets'
+    ///   actual contents (no entry lost or double-counted by a rebuild).
+    pub fn audit(&self, a: &mut Audit) {
+        a.check(
+            "simcore",
+            "queue-time-monotonicity",
+            self.time_regressions == 0,
+            || {
+                format!(
+                    "{} pops ran backwards in time (last pop {:?})",
+                    self.time_regressions, self.last_pop
+                )
+            },
+        );
+        let counted: usize = self.buckets.iter().map(VecDeque::len).sum();
+        a.check(
+            "simcore",
+            "queue-occupancy",
+            counted == self.wheel_len,
+            || {
+                format!(
+                    "wheel holds {counted} entries but wheel_len says {}",
+                    self.wheel_len
+                )
+            },
+        );
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -334,6 +387,8 @@ pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     popped: u64,
+    last_pop: Option<Time>,
+    time_regressions: u64,
 }
 
 impl<E> HeapEventQueue<E> {
@@ -343,6 +398,8 @@ impl<E> HeapEventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
+            last_pop: None,
+            time_regressions: 0,
         }
     }
 
@@ -357,6 +414,10 @@ impl<E> HeapEventQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         self.heap.pop().map(|e| {
             self.popped += 1;
+            if self.last_pop.is_some_and(|lp| e.at < lp) {
+                self.time_regressions += 1;
+            }
+            self.last_pop = Some(e.at);
             (e.at, e.payload)
         })
     }
@@ -379,6 +440,13 @@ impl<E> HeapEventQueue<E> {
     /// Total number of events popped over the queue's lifetime.
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// Pops that went backwards in time relative to the previous pop
+    /// (mirrors [`EventQueue::time_regressions`] so differential tests can
+    /// compare the two trackers too).
+    pub fn time_regressions(&self) -> u64 {
+        self.time_regressions
     }
 }
 
@@ -633,6 +701,39 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn audit_passes_on_monotone_script() {
+        let mut q = EventQueue::new();
+        for i in 0..500u64 {
+            q.push(Time::from_ns(i * 3), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.time_regressions(), 0);
+        let mut a = Audit::new();
+        q.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+        assert_eq!(a.checks(), 2);
+    }
+
+    #[test]
+    fn past_pushes_count_regressions_identically_in_both_queues() {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        cal.push(Time::from_us(10), 0);
+        heap.push(Time::from_us(10), 0);
+        assert_eq!(cal.pop(), heap.pop());
+        // Scheduled behind the last pop: the next pop runs backwards.
+        cal.push(Time::from_ns(1), 1);
+        heap.push(Time::from_ns(1), 1);
+        assert_eq!(cal.pop(), heap.pop());
+        assert_eq!(cal.time_regressions(), 1);
+        assert_eq!(heap.time_regressions(), 1);
+        let mut a = Audit::new();
+        cal.audit(&mut a);
+        assert!(!a.ok());
+        assert_eq!(a.violations()[0].check, "queue-time-monotonicity");
     }
 
     #[test]
