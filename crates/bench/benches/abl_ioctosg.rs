@@ -39,6 +39,7 @@ fn run(hinted: bool) -> f64 {
     let frag1 = mem.alloc(NodeId(1), 1 << 20);
     let _ = Cores::new(28);
     let mut last = Time::ZERO;
+    let mut out = nic::TxOutcome::default();
     for i in 0..512u64 {
         let desc = TxDesc {
             fragments: vec![
@@ -52,13 +53,14 @@ fn run(hinted: bool) -> f64 {
                     len: 724,
                     pf_hint: hinted.then_some(pfs[1]),
                 },
-            ],
+            ]
+            .into(),
             flow,
             len: 1448,
             tso: false,
         };
         nic.post_tx(q, desc);
-        let out = nic.tx_doorbell(last, last, q, &mut fab, &mut mem);
+        nic.tx_doorbell(last, last, q, &mut fab, &mut mem, &mut out);
         last = out.packets.last().map(|p| p.0).unwrap_or(last);
     }
     mem.counters().interconnect_bytes as f64

@@ -12,7 +12,7 @@ use ioctopus::system::build_duplex;
 use kernel::{NetdevId, SendOutcome};
 use memsys::NodeId;
 use nic::FlowTuple;
-use simcore::Time;
+use simcore::{OutBuf, Time};
 
 fn run(p: Placement) -> (f64, u64) {
     let mut duplex = build_duplex(p, BuildOpts::default());
@@ -34,15 +34,19 @@ fn run(p: Placement) -> (f64, u64) {
     duplex.server.mem.reset_counters();
     let mut t = Time::ZERO;
     let mut sent = 0u64;
+    let mut outs = OutBuf::new();
+    let mut irq_outs = OutBuf::new();
     for round in 0..20 {
-        match duplex.server.sendfile(t, sock, &file) {
-            SendOutcome::Sent { done_at, outs } => {
+        outs.clear();
+        match duplex.server.sendfile(t, sock, &file, &mut outs) {
+            SendOutcome::Sent { done_at } => {
                 t = done_at.max(Time::from_us(round * 100));
                 sent += file.iter().map(|(_, l)| l).sum::<u64>();
                 // Drain completions so sndbuf frees.
-                for o in outs {
+                for o in &outs {
                     if let kernel::HostOut::Irq { at, queue } = o {
-                        duplex.server.irq(at, queue);
+                        irq_outs.clear();
+                        duplex.server.irq(*at, *queue, &mut irq_outs);
                     }
                 }
             }

@@ -10,9 +10,20 @@
 //! the timed closure; parallel runs use the machine's available
 //! parallelism. Results are bit-identical either way (the `parallel_sweep`
 //! test enforces it), so the comparison is pure scheduling overhead vs
-//! speedup.
+//! speedup. On a 1-worker machine the second pass is labeled `repeat`, not
+//! `parallel` — there is no parallelism to claim.
+//!
+//! The process runs under a counting global allocator; each figure's second
+//! pass reports its allocation count and allocs/event, making the
+//! zero-allocation hot-path claim a tracked number rather than an assertion
+//! in a doc comment.
 
 use std::time::Instant;
+
+use simcore::alloc_count::{allocation_count, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 use ioctopus::config::Placement;
 use ioctopus::experiments::tcp_rr::RrConfig;
@@ -134,7 +145,17 @@ struct Row {
     serial_s: f64,
     parallel_s: f64,
     events: u64,
+    /// Heap allocations during the second (parallel/repeat) pass, including
+    /// per-sweep setup (machine construction); steady-state dispatch itself
+    /// allocates nothing.
+    allocs: u64,
     checksum_match: bool,
+}
+
+impl Row {
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.events.max(1) as f64
+    }
 }
 
 /// Runs `f` with `IOCTOPUS_THREADS` pinned to `threads`, restoring the
@@ -160,6 +181,64 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Pulls a `"key": <number>` value out of a flat JSON document. Enough
+/// parser for our own `BENCH_2.json`; avoids a serde dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = doc[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Perf-regression gate: compares this run's aggregate event rate against
+/// a previously committed baseline JSON. Exits nonzero on a >20%
+/// regression. Events/sec is the figure of merit (wall-clock depends on
+/// sweep sizing), but smoke and full rates are *not* comparable — smoke
+/// points are setup-dominated — so the gate only fires when the baseline
+/// was recorded in the same mode (CI compares smoke against the committed
+/// `BENCH_2_SMOKE.json`).
+fn check_against_baseline(rows: &[Row], smoke: bool, path: &str) {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            // A missing baseline is not a regression (fresh clone, first
+            // run); the gate only fires on measured decay.
+            println!("[baseline] {path} unreadable ({e}); skipping gate");
+            return;
+        }
+    };
+    let base_smoke = doc.contains("\"smoke\": true");
+    if base_smoke != smoke {
+        println!(
+            "[baseline] {path} was recorded with smoke={base_smoke}, this run is \
+             smoke={smoke}; rates are not comparable, skipping gate"
+        );
+        return;
+    }
+    let base_events = json_number(&doc, "total_events");
+    let base_secs = json_number(&doc, "total_parallel_s");
+    let (Some(base_events), Some(base_secs)) = (base_events, base_secs) else {
+        println!("[baseline] {path} lacks total_events/total_parallel_s; skipping gate");
+        return;
+    };
+    let base_rate = base_events / base_secs.max(1e-9);
+    let events: u64 = rows.iter().map(|r| r.events).sum();
+    let secs: f64 = rows.iter().map(|r| r.parallel_s).sum();
+    let rate = events as f64 / secs.max(1e-9);
+    let ratio = rate / base_rate.max(1e-9);
+    println!(
+        "[baseline] {rate:.0} events/s vs committed {base_rate:.0} events/s (ratio {ratio:.2})"
+    );
+    assert!(
+        ratio >= 0.80,
+        "perf regression: {rate:.0} events/s is more than 20% below the \
+         committed baseline's {base_rate:.0} events/s ({path})"
+    );
+}
+
 fn write_json(rows: &[Row], smoke: bool, threads: usize) -> Option<std::path::PathBuf> {
     let mut root = std::env::current_dir().ok()?;
     while !root.join("Cargo.lock").exists() {
@@ -172,10 +251,21 @@ fn write_json(rows: &[Row], smoke: bool, threads: usize) -> Option<std::path::Pa
     let mut j = String::from("{\n");
     j.push_str(&format!("  \"smoke\": {smoke},\n"));
     j.push_str(&format!("  \"threads\": {threads},\n"));
+    // A 1-thread run's second pass measured no parallelism; say so.
+    j.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if threads > 1 {
+            "parallel"
+        } else {
+            "serial-repeat"
+        }
+    ));
     let total_serial: f64 = rows.iter().map(|r| r.serial_s).sum();
     let total_parallel: f64 = rows.iter().map(|r| r.parallel_s).sum();
     j.push_str(&format!("  \"total_serial_s\": {total_serial:.3},\n"));
     j.push_str(&format!("  \"total_parallel_s\": {total_parallel:.3},\n"));
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    j.push_str(&format!("  \"total_events\": {total_events},\n"));
     j.push_str(&format!(
         "  \"speedup\": {:.3},\n",
         total_serial / total_parallel.max(1e-9)
@@ -185,6 +275,7 @@ fn write_json(rows: &[Row], smoke: bool, threads: usize) -> Option<std::path::Pa
         j.push_str(&format!(
             "    {{\"name\": \"{}\", \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \
              \"events\": {}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}, \
+             \"allocs\": {}, \"allocs_per_event\": {:.4}, \
              \"serial_parallel_match\": {}}}{}\n",
             json_escape(r.name),
             r.serial_s,
@@ -192,6 +283,8 @@ fn write_json(rows: &[Row], smoke: bool, threads: usize) -> Option<std::path::Pa
             r.events,
             r.events as f64 / r.parallel_s.max(1e-9),
             r.serial_s / r.parallel_s.max(1e-9),
+            r.allocs,
+            r.allocs_per_event(),
             r.checksum_match,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -202,7 +295,13 @@ fn write_json(rows: &[Row], smoke: bool, threads: usize) -> Option<std::path::Pa
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let t0 = Instant::now();
     bench::header(
         "perf_baseline",
@@ -213,9 +312,18 @@ fn main() {
         },
     );
     let threads = simcore::pool::worker_count(usize::MAX);
+    // With one worker the second pass exercises no parallelism; refusing
+    // the label keeps the table and json honest on small machines.
+    let second = if threads > 1 { "parallel" } else { "repeat" };
     println!(
-        "{:>18} | {:>9} | {:>10} | {:>8} | {:>12} | {:>7}",
-        "figure", "serial[s]", "parallel[s]", "speedup", "events", "match"
+        "{:>18} | {:>9} | {:>10} | {:>8} | {:>12} | {:>10} | {:>7}",
+        "figure",
+        "serial[s]",
+        format!("{second}[s]"),
+        "speedup",
+        "events",
+        "allocs/ev",
+        "match"
     );
     let mut rows = Vec::new();
     for c in CASES {
@@ -225,42 +333,57 @@ fn main() {
         let serial_s = s0.elapsed().as_secs_f64();
         let _ = perf::take_events();
 
+        let a0 = allocation_count();
         let p0 = Instant::now();
         let parallel_sum = (c.run)(smoke);
         let parallel_s = p0.elapsed().as_secs_f64();
         let events = perf::take_events();
+        let allocs = allocation_count() - a0;
 
         let checksum_match = serial_sum.to_bits() == parallel_sum.to_bits();
-        println!(
-            "{:>18} | {:>9.2} | {:>10.2} | {:>7.2}x | {:>12} | {:>7}",
-            c.name,
-            serial_s,
-            parallel_s,
-            serial_s / parallel_s.max(1e-9),
-            events,
-            checksum_match,
-        );
-        assert!(
-            checksum_match,
-            "{}: serial and parallel sweeps disagree",
-            c.name
-        );
-        rows.push(Row {
+        let row = Row {
             name: c.name,
             serial_s,
             parallel_s,
             events,
+            allocs,
             checksum_match,
-        });
+        };
+        println!(
+            "{:>18} | {:>9.2} | {:>10.2} | {:>7.2}x | {:>12} | {:>10.4} | {:>7}",
+            row.name,
+            row.serial_s,
+            row.parallel_s,
+            row.serial_s / row.parallel_s.max(1e-9),
+            row.events,
+            row.allocs_per_event(),
+            row.checksum_match,
+        );
+        assert!(
+            checksum_match,
+            "{}: serial and {second} sweeps disagree",
+            c.name
+        );
+        rows.push(row);
     }
     let total_serial: f64 = rows.iter().map(|r| r.serial_s).sum();
     let total_parallel: f64 = rows.iter().map(|r| r.parallel_s).sum();
+    let total_allocs: u64 = rows.iter().map(|r| r.allocs).sum();
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
     println!(
-        "\ntotal: serial {total_serial:.2}s, parallel {total_parallel:.2}s, speedup {:.2}x on {threads} worker(s)",
+        "\ntotal: serial {total_serial:.2}s, {second} {total_parallel:.2}s, speedup {:.2}x on {threads} worker(s)",
         total_serial / total_parallel.max(1e-9)
+    );
+    println!(
+        "allocations: {total_allocs} over {total_events} events = {:.4} allocs/event \
+         (includes per-sweep machine setup; steady-state dispatch is 0)",
+        total_allocs as f64 / total_events.max(1) as f64
     );
     if let Some(p) = write_json(&rows, smoke, threads) {
         println!("[json] {}", p.display());
+    }
+    if let Some(path) = baseline {
+        check_against_baseline(&rows, smoke, &path);
     }
     bench::footer(t0);
 }

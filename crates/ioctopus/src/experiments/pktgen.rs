@@ -4,7 +4,7 @@
 use kernel::NetdevId;
 use memsys::AccessKind;
 use nic::FlowTuple;
-use simcore::Time;
+use simcore::{OutBuf, Time};
 
 use crate::config::{BuildOpts, Placement};
 use crate::results::ThroughputResult;
@@ -46,6 +46,7 @@ pub fn run(
     let mut packets: u64 = 0;
     let mut measured: u64 = 0;
     let mut counters_reset = false;
+    let mut outs = OutBuf::new();
     while t < w.end {
         if !counters_reset && t >= w.warmup {
             duplex.server.mem.reset_counters();
@@ -53,10 +54,17 @@ pub fn run(
             measured = 0;
             counters_reset = true;
         }
-        let (done, outs) =
-            duplex
-                .server
-                .pktgen_round(t, core, NetdevId(0), flow, pkt_buf, pkt_bytes, 64);
+        outs.clear();
+        let done = duplex.server.pktgen_round(
+            t,
+            core,
+            NetdevId(0),
+            flow,
+            pkt_buf,
+            pkt_bytes,
+            64,
+            &mut outs,
+        );
         packets += outs.len() as u64;
         measured += outs.len() as u64;
         assert!(done > t, "pktgen must make progress");

@@ -21,7 +21,7 @@ use kernel::{HostOut, RecvOutcome, SendOutcome, SockId, ThreadId};
 use memsys::{AccessKind, PhysAddr};
 use nic::FlowTuple;
 use simcore::stats::Histogram;
-use simcore::{Dur, EventQueue, Time};
+use simcore::{Dur, EventQueue, OutBuf, Time};
 use workloads::{KvOp, KvWorkload, PageRank, StreamAntagonist};
 
 use crate::system::{Duplex, Event, OutRouter, Side};
@@ -154,6 +154,13 @@ pub struct NetLoop {
     /// Accumulated invariant-audit results (see [`NetLoop::enable_audit`]).
     pub audit: simcore::Audit,
     now: Time,
+    /// Recycled out-buffer threaded through every host entry point: hosts
+    /// append follow-ups here and [`NetLoop::push_outs`] drains them into
+    /// the queue, so steady-state dispatch never allocates.
+    outbuf: OutBuf<HostOut>,
+    /// Recycled same-timestamp batch for NAPI-style dispatch (see
+    /// [`NetLoop::run`]).
+    batch: Vec<Event>,
 }
 
 impl NetLoop {
@@ -175,6 +182,8 @@ impl NetLoop {
             audit_every: None,
             audit: simcore::Audit::new(),
             now: Time::ZERO,
+            outbuf: OutBuf::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -320,7 +329,69 @@ impl NetLoop {
 
     /// Runs the loop until the queue drains or simulated time passes
     /// `until`.
+    ///
+    /// NAPI-style dispatch: all events sharing the head timestamp are
+    /// drained into one (recycled) batch, and consecutive [`Event::
+    /// WireArrival`]s for the same destination are dispatched under a single
+    /// host borrow with their follow-ups routed together. Bit-identical to
+    /// [`run_unbatched`](Self::run_unbatched): same-instant events dispatch
+    /// in push-sequence order either way, handlers never read the queue, and
+    /// anything they schedule lands at a later sequence number than every
+    /// batch member — so the pop order, the router's sequence assignment,
+    /// and every reservation are unchanged.
     pub fn run(&mut self, until: Time) {
+        // Per-step auditing wants the queue observed between every two
+        // events, which batching elides; use the reference loop there.
+        if self.audit_every == Some(Dur::ZERO) {
+            self.run_unbatched(until);
+            return;
+        }
+        while let Some(at) = self.q.peek_time() {
+            if at > until {
+                break;
+            }
+            let mut batch = std::mem::take(&mut self.batch);
+            self.q.pop_batch_into(&mut batch);
+            self.now = at;
+            let mut k = 0;
+            while k < batch.len() {
+                if let Event::WireArrival { to, .. } = batch[k] {
+                    // One borrow of the destination host for the whole run
+                    // of same-destination arrivals; follow-ups accumulate in
+                    // `outbuf` in dispatch order and route once at the end.
+                    let host = self.duplex.host_mut(to);
+                    while k < batch.len() {
+                        match batch[k] {
+                            Event::WireArrival {
+                                to: t2,
+                                flow,
+                                bytes,
+                                seq,
+                            } if t2 == to => {
+                                host.wire_arrival(at, flow, bytes, seq, &mut self.outbuf);
+                                k += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    self.push_outs(to);
+                } else {
+                    let ev = batch[k];
+                    self.dispatch(at, ev);
+                    k += 1;
+                }
+            }
+            batch.clear();
+            self.batch = batch;
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// The reference event loop: pops and dispatches one event at a time.
+    /// Kept as the differential-test oracle for the batched [`run`]
+    /// (`tests/batched_dispatch.rs` requires bit-identical results) and as
+    /// the carrier for per-step auditing.
+    pub fn run_unbatched(&mut self, until: Time) {
         while let Some(at) = self.q.peek_time() {
             if at > until {
                 break;
@@ -343,9 +414,15 @@ impl NetLoop {
         self.q.events_processed()
     }
 
-    fn push_outs(&mut self, from: Side, outs: Vec<HostOut>) {
-        for (t, e) in self.router.route(from, outs) {
-            self.q.push(t, e);
+    /// Drains the shared [`OutBuf`] through the router into the queue.
+    /// Allocation-free: the buffer's capacity is retained across drains.
+    fn push_outs(&mut self, from: Side) {
+        let NetLoop {
+            q, router, outbuf, ..
+        } = self;
+        for o in outbuf.drain() {
+            let (t, e) = router.route_one(from, o);
+            q.push(t, e);
         }
     }
 
@@ -357,12 +434,14 @@ impl NetLoop {
                 bytes,
                 seq,
             } => {
-                let outs = self.duplex.host_mut(to).wire_arrival(now, flow, bytes, seq);
-                self.push_outs(to, outs);
+                self.duplex
+                    .host_mut(to)
+                    .wire_arrival(now, flow, bytes, seq, &mut self.outbuf);
+                self.push_outs(to);
             }
             Event::Irq { side, queue } => {
-                let outs = self.duplex.host_mut(side).irq(now, queue);
-                self.push_outs(side, outs);
+                self.duplex.host_mut(side).irq(now, queue, &mut self.outbuf);
+                self.push_outs(side);
             }
             Event::Wake { side, thread } => match side {
                 Side::Server => {
@@ -393,13 +472,14 @@ impl NetLoop {
                 self.duplex.server.migrate_thread(now, thread, core);
             }
             Event::Sample => {
-                let pfs = self.duplex.server_pfs.clone();
-                let snap = pfs
+                let duplex = &self.duplex;
+                let snap = duplex
+                    .server_pfs
                     .iter()
                     .map(|&pf| {
                         (
-                            self.duplex.server.nic.rx_bytes(pf),
-                            self.duplex.server.nic.tx_bytes(pf),
+                            duplex.server.nic.rx_bytes(pf),
+                            duplex.server.nic.tx_bytes(pf),
                         )
                     })
                     .collect();
@@ -413,8 +493,8 @@ impl NetLoop {
                 self.duplex.server.apply_fault(now, target, kind);
             }
             Event::Watchdog => {
-                let outs = self.duplex.server.watchdog(now);
-                self.push_outs(Side::Server, outs);
+                self.duplex.server.watchdog(now, &mut self.outbuf);
+                self.push_outs(Side::Server);
                 if let Some(every) = self.watchdog_every {
                     self.q.push(now + every, Event::Watchdog);
                 }
@@ -466,12 +546,12 @@ impl NetLoop {
         if !has_credit {
             return;
         }
-        match self.duplex.client.send(now, sock, msg) {
-            SendOutcome::Sent { done_at, outs } => {
+        match self.duplex.client.send(now, sock, msg, &mut self.outbuf) {
+            SendOutcome::Sent { done_at } => {
                 if let App::Rx(a) = &mut self.apps[i] {
                     a.credit -= msg as i64;
                 }
-                self.push_outs(Side::Client, outs);
+                self.push_outs(Side::Client);
                 self.q.push(
                     done_at,
                     Event::Wake {
@@ -532,12 +612,12 @@ impl NetLoop {
         if !has_credit {
             return;
         }
-        match self.duplex.server.send(now, sock, msg) {
-            SendOutcome::Sent { done_at, outs } => {
+        match self.duplex.server.send(now, sock, msg, &mut self.outbuf) {
+            SendOutcome::Sent { done_at } => {
                 if let App::Tx(a) = &mut self.apps[i] {
                     a.credit -= msg as i64;
                 }
-                self.push_outs(Side::Server, outs);
+                self.push_outs(Side::Server);
                 self.q.push(
                     done_at,
                     Event::Wake {
@@ -590,12 +670,12 @@ impl NetLoop {
         if done >= target {
             return;
         }
-        match self.duplex.client.send(now, sock, msg) {
-            SendOutcome::Sent { done_at, outs } => {
+        match self.duplex.client.send(now, sock, msg, &mut self.outbuf) {
+            SendOutcome::Sent { done_at } => {
                 if let App::Rr(a) = &mut self.apps[i] {
                     a.sent_at = now;
                 }
-                self.push_outs(Side::Client, outs);
+                self.push_outs(Side::Client);
                 // Park in recv for the response.
                 let _ = self.duplex.client.recv(done_at, sock, u64::MAX);
             }
@@ -633,10 +713,10 @@ impl NetLoop {
                             }
                             _ => unreachable!(),
                         };
-                        if let SendOutcome::Sent { outs, .. } =
-                            self.duplex.server.send(now, sock, msg)
+                        if let SendOutcome::Sent { .. } =
+                            self.duplex.server.send(now, sock, msg, &mut self.outbuf)
                         {
-                            self.push_outs(Side::Server, outs);
+                            self.push_outs(Side::Server);
                         }
                     }
                 }
@@ -690,12 +770,12 @@ impl NetLoop {
             }
             _ => return,
         };
-        match self.duplex.client.send(now, sock, req) {
-            SendOutcome::Sent { done_at, outs } => {
+        match self.duplex.client.send(now, sock, req, &mut self.outbuf) {
+            SendOutcome::Sent { done_at } => {
                 if let App::Kv(a) = &mut self.apps[i] {
                     a.send_pending = false;
                 }
-                self.push_outs(Side::Client, outs);
+                self.push_outs(Side::Client);
                 let _ = self.duplex.client.recv(done_at, sock, u64::MAX);
             }
             SendOutcome::WouldBlock => {
@@ -774,10 +854,12 @@ impl NetLoop {
                 // Response payload is copied straight out of the value
                 // region, so its residency (LLC vs DRAM) is what the copy
                 // pays for.
-                if let SendOutcome::Sent { outs, .. } =
-                    self.duplex.server.send_from(now, sock, resp, value_addr)
+                if let SendOutcome::Sent { .. } =
+                    self.duplex
+                        .server
+                        .send_from(now, sock, resp, value_addr, &mut self.outbuf)
                 {
-                    self.push_outs(Side::Server, outs);
+                    self.push_outs(Side::Server);
                 }
             }
             KvOp::Set { .. } => {
@@ -790,8 +872,10 @@ impl NetLoop {
                     AccessKind::Stream,
                 );
                 self.duplex.server.cores.run(core, now, w);
-                if let SendOutcome::Sent { outs, .. } = self.duplex.server.send(now, sock, resp) {
-                    self.push_outs(Side::Server, outs);
+                if let SendOutcome::Sent { .. } =
+                    self.duplex.server.send(now, sock, resp, &mut self.outbuf)
+                {
+                    self.push_outs(Side::Server);
                 }
             }
         }

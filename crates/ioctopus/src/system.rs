@@ -190,29 +190,30 @@ impl OutRouter {
         Self::default()
     }
 
-    /// Converts `outs` into `(time, event)` pairs ready for the queue.
-    pub fn route(&mut self, from: Side, outs: Vec<HostOut>) -> Vec<(Time, Event)> {
-        outs.into_iter()
-            .map(|o| match o {
-                HostOut::PacketToPeer { at, flow, bytes } => {
-                    let to = from.other();
-                    let seq = self.seqs.entry((to, flow)).or_insert(0);
-                    let s = *seq;
-                    *seq += 1;
-                    (
-                        at,
-                        Event::WireArrival {
-                            to,
-                            flow,
-                            bytes,
-                            seq: s,
-                        },
-                    )
-                }
-                HostOut::Irq { at, queue } => (at, Event::Irq { side: from, queue }),
-                HostOut::Wake { at, thread } => (at, Event::Wake { side: from, thread }),
-            })
-            .collect()
+    /// Converts one host out-event into a `(time, event)` pair ready for
+    /// the queue. Allocation-free; callers drain their [`simcore::OutBuf`]
+    /// through this one item at a time, preserving production order (which
+    /// is what keeps per-flow wire sequence numbers monotone).
+    pub fn route_one(&mut self, from: Side, o: HostOut) -> (Time, Event) {
+        match o {
+            HostOut::PacketToPeer { at, flow, bytes } => {
+                let to = from.other();
+                let seq = self.seqs.entry((to, flow)).or_insert(0);
+                let s = *seq;
+                *seq += 1;
+                (
+                    at,
+                    Event::WireArrival {
+                        to,
+                        flow,
+                        bytes,
+                        seq: s,
+                    },
+                )
+            }
+            HostOut::Irq { at, queue } => (at, Event::Irq { side: from, queue }),
+            HostOut::Wake { at, thread } => (at, Event::Wake { side: from, thread }),
+        }
     }
 }
 
@@ -269,7 +270,10 @@ mod tests {
                 bytes: 100,
             },
         ];
-        let evs = r.route(Side::Client, outs);
+        let evs: Vec<(Time, Event)> = outs
+            .into_iter()
+            .map(|o| r.route_one(Side::Client, o))
+            .collect();
         match (&evs[0].1, &evs[1].1) {
             (
                 Event::WireArrival {

@@ -22,9 +22,9 @@ use std::collections::VecDeque;
 use memsys::{AccessKind, MemSystem, NodeId, PhysAddr};
 use nic::desc::TxFragment;
 use nic::desc::{CQE_BYTES, DESC_BYTES};
-use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc};
+use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc, TxOutcome};
 use pcie::{PcieFabric, PfId};
-use simcore::{Audit, Dur, FaultKind, FxHashMap, Time};
+use simcore::{Audit, Dur, FaultKind, FxHashMap, OutBuf, Time};
 
 use crate::cores::Cores;
 use crate::netdev::{DriverModel, Netdev, NetdevId};
@@ -143,15 +143,14 @@ pub enum HostOut {
     },
 }
 
-/// Result of [`Host::send`].
-#[derive(Debug, Clone)]
+/// Result of [`Host::send`]. Follow-up events (wire packets, interrupts)
+/// are appended to the `OutBuf` the caller passed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOutcome {
     /// Data queued to the NIC.
     Sent {
         /// When the sending core finished the syscall.
         done_at: Time,
-        /// Follow-up events (wire packets, interrupts).
-        outs: Vec<HostOut>,
     },
     /// Send buffer / ring / kernel-buffer pressure: the caller blocks and is
     /// woken by a Tx completion.
@@ -208,6 +207,9 @@ pub struct Host {
     steer_pending: bool,
     break_recovery: bool,
     robust: HostRobustness,
+    /// Recycled scratch for NIC Tx doorbells so ringing one never
+    /// allocates in steady state (the NIC clears it on entry).
+    tx_scratch: TxOutcome,
 }
 
 impl Host {
@@ -375,6 +377,7 @@ impl Host {
             steer_pending: false,
             break_recovery: false,
             robust: HostRobustness::default(),
+            tx_scratch: TxOutcome::default(),
         }
     }
 
@@ -469,16 +472,29 @@ impl Host {
 
     /// Application `send(2)`: copies `bytes` from the socket's user buffer
     /// into kernel buffers, posts descriptors via XPS, and rings the
-    /// doorbell.
-    pub fn send(&mut self, now: Time, sock: SockId, bytes: u64) -> SendOutcome {
+    /// doorbell. Follow-up events are appended to `out`.
+    pub fn send(
+        &mut self,
+        now: Time,
+        sock: SockId,
+        bytes: u64,
+        out: &mut OutBuf<HostOut>,
+    ) -> SendOutcome {
         let src = self.sockets.get(sock).user_buf;
-        self.send_from(now, sock, bytes, src)
+        self.send_from(now, sock, bytes, src, out)
     }
 
     /// Like [`send`](Self::send) but copying from an arbitrary source
     /// buffer (e.g. a key-value store's value region), so the copy's cache
     /// locality reflects where the application's data actually lives.
-    pub fn send_from(&mut self, now: Time, sock: SockId, bytes: u64, src: PhysAddr) -> SendOutcome {
+    pub fn send_from(
+        &mut self,
+        now: Time,
+        sock: SockId,
+        bytes: u64,
+        src: PhysAddr,
+        out: &mut OutBuf<HostOut>,
+    ) -> SendOutcome {
         let costs = self.cfg.costs;
         let (node, core, flow_out, netdev) = {
             let s = self.sockets.get(sock);
@@ -552,8 +568,8 @@ impl Host {
         }
         // Doorbell (posted MMIO).
         t = self.cores.run(core, t, costs.doorbell);
-        let outs = self.ring_doorbell(t, now, node, q);
-        SendOutcome::Sent { done_at: t, outs }
+        self.ring_doorbell(t, now, node, q, out);
+        SendOutcome::Sent { done_at: t }
     }
 
     /// `sendfile(2)`-style zero-copy transmit: the payload comes straight
@@ -564,7 +580,13 @@ impl Host {
     /// each fragment carries an **IOctoSG** PF hint so the device fetches it
     /// through the endpoint local to the fragment's node; the standard
     /// driver has no such hint and every fragment rides the queue's PF.
-    pub fn sendfile(&mut self, now: Time, sock: SockId, pages: &[(PhysAddr, u64)]) -> SendOutcome {
+    pub fn sendfile(
+        &mut self,
+        now: Time,
+        sock: SockId,
+        pages: &[(PhysAddr, u64)],
+        out: &mut OutBuf<HostOut>,
+    ) -> SendOutcome {
         let costs = self.cfg.costs;
         let (node, core, flow_out, netdev) = {
             let s = self.sockets.get(sock);
@@ -617,7 +639,7 @@ impl Host {
         for frags in descs {
             let len: u64 = frags.iter().map(|f| f.len).sum();
             let desc = TxDesc {
-                fragments: frags,
+                fragments: frags.into(),
                 flow: flow_out,
                 len,
                 tso: len > mss,
@@ -640,34 +662,44 @@ impl Host {
             s.tx_bytes += total;
         }
         t = self.cores.run(core, t, costs.doorbell);
-        let outs = self.ring_doorbell(t, now, node, q);
-        SendOutcome::Sent { done_at: t, outs }
+        self.ring_doorbell(t, now, node, q, out);
+        SendOutcome::Sent { done_at: t }
     }
 
-    /// Rings `q`'s doorbell at `t` (posted MMIO) and converts the NIC's
-    /// transmit outcome into host events. A `None` MMIO cost means the link
-    /// under the PF is down: the write vanishes, the posted descriptors stay
-    /// in the ring, and [`Host::watchdog`] re-rings once the link returns.
-    fn ring_doorbell(&mut self, t: Time, now: Time, node: NodeId, q: QueueId) -> Vec<HostOut> {
+    /// Rings `q`'s doorbell at `t` (posted MMIO) and appends the NIC's
+    /// transmit outcome to `out` as host events. A `None` MMIO cost means
+    /// the link under the PF is down: the write vanishes, the posted
+    /// descriptors stay in the ring, and [`Host::watchdog`] re-rings once
+    /// the link returns.
+    fn ring_doorbell(
+        &mut self,
+        t: Time,
+        now: Time,
+        node: NodeId,
+        q: QueueId,
+        out: &mut OutBuf<HostOut>,
+    ) {
         let Some(mmio) = self
             .fabric
             .mmio_write(t, node, self.queue_pf[q.0], &self.mem)
         else {
             self.robust.doorbells_lost += 1;
-            return Vec::new();
+            return;
         };
-        let tx = self
-            .nic
-            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
-        let mut outs: Vec<HostOut> = tx
-            .packets
-            .iter()
-            .map(|&(at, flow, b)| HostOut::PacketToPeer { at, flow, bytes: b })
-            .collect();
-        if let Some((at, _core)) = tx.irq {
-            outs.push(HostOut::Irq { at, queue: q });
+        self.nic.tx_doorbell(
+            t + mmio,
+            now,
+            q,
+            &mut self.fabric,
+            &mut self.mem,
+            &mut self.tx_scratch,
+        );
+        for &(at, flow, b) in &self.tx_scratch.packets {
+            out.push(HostOut::PacketToPeer { at, flow, bytes: b });
         }
-        outs
+        if let Some((at, _core)) = self.tx_scratch.irq {
+            out.push(HostOut::Irq { at, queue: q });
+        }
     }
 
     /// The first NIC PF attached to `node`, if any.
@@ -731,17 +763,19 @@ impl Host {
 
     /// A packet from the peer hits the server NIC at `now` (wire
     /// serialization already accounted by the caller via
-    /// [`nic::wire::Wire::send_rx`]).
+    /// [`nic::wire::Wire::send_rx`]). Follow-up events are appended to
+    /// `out`.
     pub fn wire_arrival(
         &mut self,
         now: Time,
         flow: FlowTuple,
         bytes: u64,
         seq: u64,
-    ) -> Vec<HostOut> {
+        out: &mut OutBuf<HostOut>,
+    ) {
         let Some(sock) = self.sockets.by_flow(&flow) else {
             self.rx_no_socket_drops += 1;
-            return Vec::new();
+            return;
         };
         let mac = self.netdevs[self.sockets.get(sock).netdev.0].mac;
         match self
@@ -749,25 +783,23 @@ impl Host {
             .on_wire_packet(now, mac, flow, bytes, seq, &mut self.fabric, &mut self.mem)
         {
             RxOutcome::Delivered { queue, irq, .. } => {
-                let mut outs = Vec::new();
                 if let Some((at, _core)) = irq {
-                    outs.push(HostOut::Irq { at, queue });
+                    out.push(HostOut::Irq { at, queue });
                 }
-                outs
             }
             RxOutcome::DroppedNoBuffer { .. }
             | RxOutcome::DroppedPfDead { .. }
             | RxOutcome::DroppedLinkDown { .. }
-            | RxOutcome::DroppedNoQueue { .. } => Vec::new(),
+            | RxOutcome::DroppedNoQueue { .. } => {}
         }
     }
 
     /// NAPI: services `queue`'s completion queues on its IRQ core.
-    pub fn irq(&mut self, now: Time, queue: QueueId) -> Vec<HostOut> {
+    /// Follow-up events are appended to `out`.
+    pub fn irq(&mut self, now: Time, queue: QueueId, out: &mut OutBuf<HostOut>) {
         let costs = self.cfg.costs;
         let core = self.queue_irq_core[queue.0];
         let node = self.queue_node[queue.0];
-        let mut outs = Vec::new();
         let mut t = self.cores.run(core, now, costs.irq_entry);
 
         // Rx completions. NAPI paces itself with CQE *landings*: an entry
@@ -816,7 +848,7 @@ impl Host {
                     if s.rx_waiting {
                         s.rx_waiting = false;
                         let owner = s.owner;
-                        outs.push(HostOut::Wake {
+                        out.push(HostOut::Wake {
                             at: t + costs.wake_latency,
                             thread: owner,
                         });
@@ -871,7 +903,7 @@ impl Host {
                 if s.tx_waiting {
                     s.tx_waiting = false;
                     let owner = s.owner;
-                    outs.push(HostOut::Wake {
+                    out.push(HostOut::Wake {
                         at: t + costs.wake_latency,
                         thread: owner,
                     });
@@ -885,11 +917,11 @@ impl Host {
             // batching). The irq stays disarmed — the continuation is the
             // waker.
             let delay = self.nic.config().irq_delay;
-            outs.push(HostOut::Irq {
+            out.push(HostOut::Irq {
                 at: (landed + delay).max(t),
                 queue,
             });
-            return outs;
+            return;
         }
         self.nic.rearm_irq(queue);
         if self.nic.rx_cq_depth(queue) == 0 {
@@ -903,9 +935,8 @@ impl Host {
             }
         } else {
             // Completions raced in while we processed: poll again.
-            outs.push(HostOut::Irq { at: t, queue });
+            out.push(HostOut::Irq { at: t, queue });
         }
-        outs
     }
 
     /// One pktgen burst (§5.1.1 "Single-core packet throughput"): the
@@ -914,7 +945,8 @@ impl Host {
     /// completions in polling mode (pktgen does not use sockets or copies:
     /// "repeatedly transmits the same IP packet without touching any data").
     ///
-    /// Returns `(time the core finished the round, wire-packet events)`.
+    /// Returns the time the core finished the round; wire-packet events
+    /// are appended to `out`.
     #[allow(clippy::too_many_arguments)]
     pub fn pktgen_round(
         &mut self,
@@ -925,7 +957,8 @@ impl Host {
         pkt_buf: PhysAddr,
         pkt_bytes: u64,
         burst: usize,
-    ) -> (Time, Vec<HostOut>) {
+        out: &mut OutBuf<HostOut>,
+    ) -> Time {
         let costs = self.cfg.costs;
         let node = self.mem.topology().node_of_core(core);
         let q = self.netdevs[nd.0].queue_for_core(core);
@@ -941,29 +974,31 @@ impl Host {
             t = self.cores.run(core, t, costs.pktgen_loop + dw);
         }
         t = self.cores.run(core, t, costs.doorbell);
-        let outs: Vec<HostOut> =
-            match self
-                .fabric
-                .mmio_write(t, node, self.queue_pf[q.0], &self.mem)
-            {
-                Some(mmio) => {
-                    let tx =
-                        self.nic
-                            .tx_doorbell(t + mmio, now, q, &mut self.fabric, &mut self.mem);
-                    tx.packets
-                        .iter()
-                        .map(|&(at, f, b)| HostOut::PacketToPeer {
-                            at,
-                            flow: f,
-                            bytes: b,
-                        })
-                        .collect()
+        match self
+            .fabric
+            .mmio_write(t, node, self.queue_pf[q.0], &self.mem)
+        {
+            Some(mmio) => {
+                self.nic.tx_doorbell(
+                    t + mmio,
+                    now,
+                    q,
+                    &mut self.fabric,
+                    &mut self.mem,
+                    &mut self.tx_scratch,
+                );
+                for &(at, f, b) in &self.tx_scratch.packets {
+                    out.push(HostOut::PacketToPeer {
+                        at,
+                        flow: f,
+                        bytes: b,
+                    });
                 }
-                None => {
-                    self.robust.doorbells_lost += 1;
-                    Vec::new()
-                }
-            };
+            }
+            None => {
+                self.robust.doorbells_lost += 1;
+            }
+        }
         // Polling-mode reaping: read each completion entry that has already
         // landed. This is the access whose locality the paper pinpoints —
         // "reading this entry from memory costs about 80 ns, which is
@@ -989,7 +1024,7 @@ impl Host {
             t = self.cores.run(core, t, r + costs.per_tx_completion);
         }
         self.nic.rearm_irq(q);
-        (t, outs)
+        t
     }
 
     /// Per-socket out-of-order count (Figure 14 asserts zero for the
@@ -1103,10 +1138,9 @@ impl Host {
     /// * Tx descriptors whose doorbell MMIO vanished into a dead link (the
     ///   ring holds descriptors but no completion is in flight): the
     ///   doorbell is re-rung with bounded exponential backoff.
-    pub fn watchdog(&mut self, now: Time) -> Vec<HostOut> {
+    pub fn watchdog(&mut self, now: Time, out: &mut OutBuf<HostOut>) {
         let timeout = self.cfg.watchdog_timeout;
         let stale = |l: Option<Time>| matches!(l, Some(l) if l + timeout <= now);
-        let mut outs = Vec::new();
         // Steering re-install left pending by a PF recovery whose control
         // path was dead: retry with the same bounded exponential backoff
         // the doorbell path uses (shared limit/base keeps the recovery
@@ -1129,7 +1163,7 @@ impl Host {
             let q = QueueId(qi);
             if stale(self.nic.rx_landing(q)) || stale(self.nic.tx_landing(q)) {
                 self.robust.watchdog_irq_recoveries += 1;
-                outs.push(HostOut::Irq { at: now, queue: q });
+                out.push(HostOut::Irq { at: now, queue: q });
                 continue;
             }
             let stuck = self.nic.tx_backlog(q) > 0
@@ -1149,9 +1183,8 @@ impl Host {
             };
             self.robust.doorbell_retries += 1;
             let node = self.queue_node[qi];
-            outs.extend(self.ring_doorbell(now, now, node, q));
+            self.ring_doorbell(now, now, node, q, out);
         }
-        outs
     }
 
     /// Applies one fault-plan event to this host's I/O complex. Link faults
@@ -1374,6 +1407,31 @@ mod tests {
         FlowTuple::tcp(0x0A00_0001, port, 0x0A00_0002, 5001)
     }
 
+    // Collect-into-Vec wrappers so assertions keep their original shape.
+    fn wire(host: &mut Host, at: Time, flow: FlowTuple, bytes: u64, seq: u64) -> Vec<HostOut> {
+        let mut out = OutBuf::new();
+        host.wire_arrival(at, flow, bytes, seq, &mut out);
+        out.drain().collect()
+    }
+
+    fn irq(host: &mut Host, at: Time, q: QueueId) -> Vec<HostOut> {
+        let mut out = OutBuf::new();
+        host.irq(at, q, &mut out);
+        out.drain().collect()
+    }
+
+    fn watchdog(host: &mut Host, at: Time) -> Vec<HostOut> {
+        let mut out = OutBuf::new();
+        host.watchdog(at, &mut out);
+        out.drain().collect()
+    }
+
+    fn send(host: &mut Host, at: Time, sock: SockId, bytes: u64) -> (SendOutcome, Vec<HostOut>) {
+        let mut out = OutBuf::new();
+        let r = host.send(at, sock, bytes, &mut out);
+        (r, out.drain().collect())
+    }
+
     #[test]
     fn standard_driver_builds_netdev_per_pf() {
         let (host, pfs) = build(DriverModel::Standard);
@@ -1407,15 +1465,15 @@ mod tests {
             RecvOutcome::WouldBlock
         ));
         // Packet arrives.
-        let outs = host.wire_arrival(Time::from_us(5), flow, 1448, 0);
-        let irq = outs
+        let outs = wire(&mut host, Time::from_us(5), flow, 1448, 0);
+        let got_irq = outs
             .iter()
             .find_map(|o| match o {
                 HostOut::Irq { at, queue } => Some((*at, *queue)),
                 _ => None,
             })
             .expect("irq scheduled");
-        let outs = host.irq(irq.0, irq.1);
+        let outs = irq(&mut host, got_irq.0, got_irq.1);
         let wake = outs
             .iter()
             .find_map(|o| match o {
@@ -1439,17 +1497,14 @@ mod tests {
         let th = host.spawn_thread(0);
         let flow = client_flow(1001);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
-        match host.send(Time::ZERO, sock, 64 * 1024) {
-            SendOutcome::Sent { outs, .. } => {
-                let pkts: Vec<_> = outs
-                    .iter()
-                    .filter(|o| matches!(o, HostOut::PacketToPeer { .. }))
-                    .collect();
-                // 64 KiB TSO aggregate → ceil(65536/1460) MTU segments.
-                assert!(pkts.len() > 40, "got {} packets", pkts.len());
-            }
-            other => panic!("{other:?}"),
-        }
+        let (r, outs) = send(&mut host, Time::ZERO, sock, 64 * 1024);
+        assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
+        let pkts: Vec<_> = outs
+            .iter()
+            .filter(|o| matches!(o, HostOut::PacketToPeer { .. }))
+            .collect();
+        // 64 KiB TSO aggregate → ceil(65536/1460) MTU segments.
+        assert!(pkts.len() > 40, "got {} packets", pkts.len());
         assert_eq!(host.socket(sock).tx_bytes, 64 * 1024);
     }
 
@@ -1459,10 +1514,8 @@ mod tests {
         let th = host.spawn_thread(0);
         let flow = client_flow(1002);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
-        let outs = match host.send(Time::ZERO, sock, 1000) {
-            SendOutcome::Sent { outs, .. } => outs,
-            other => panic!("{other:?}"),
-        };
+        let (r, outs) = send(&mut host, Time::ZERO, sock, 1000);
+        assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
         assert_eq!(host.socket(sock).tx_inflight, 1000);
         let (at, q) = outs
             .iter()
@@ -1471,7 +1524,7 @@ mod tests {
                 _ => None,
             })
             .expect("tx completion irq");
-        host.irq(at, q);
+        irq(&mut host, at, q);
         assert_eq!(host.socket(sock).tx_inflight, 0);
     }
 
@@ -1484,8 +1537,8 @@ mod tests {
         let mut t = Time::ZERO;
         let mut blocked = false;
         for _ in 0..200 {
-            match host.send(t, sock, 64 * 1024) {
-                SendOutcome::Sent { done_at, .. } => t = done_at,
+            match send(&mut host, t, sock, 64 * 1024).0 {
+                SendOutcome::Sent { done_at } => t = done_at,
                 SendOutcome::WouldBlock => {
                     blocked = true;
                     break;
@@ -1511,11 +1564,11 @@ mod tests {
         // queue drains, which happens at the next irq of the old queue.
         host.migrate_thread(Time::from_ms(1), th, 14);
         let old_q = host.netdevs[0].queue_for_core(0);
-        host.irq(Time::from_ms(1), old_q);
+        irq(&mut host, Time::from_ms(1), old_q);
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1], "IOctoRFS moved");
         // Packets now land on the node-1 queue and the thread still gets
         // them, in order.
-        let outs = host.wire_arrival(Time::from_ms(2), flow, 1448, 0);
+        let outs = wire(&mut host, Time::from_ms(2), flow, 1448, 0);
         assert!(!outs.is_empty());
         let (at, q) = outs
             .iter()
@@ -1525,7 +1578,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(q, host.netdevs[0].queue_for_core(14));
-        host.irq(at, q);
+        irq(&mut host, at, q);
         assert_eq!(host.ooo_count(sock), 0);
     }
 
@@ -1539,7 +1592,7 @@ mod tests {
         let mac = host.netdev_mac(NetdevId(0));
         host.migrate_thread(Time::from_ms(1), th, 14);
         let old_q = host.netdevs[0].queue_for_core(0);
-        host.irq(Time::from_ms(1), old_q);
+        irq(&mut host, Time::from_ms(1), old_q);
         // MAC-based steering still sends everything to PF0: NUDMA persists.
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0]);
         let _ = sock;
@@ -1551,15 +1604,13 @@ mod tests {
         let th = host.spawn_thread(0);
         let flow = client_flow(1006);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
-        let outs = match host.send(Time::ZERO, sock, 1000) {
-            SendOutcome::Sent { outs, .. } => outs,
-            o => panic!("{o:?}"),
-        };
+        let (r, outs) = send(&mut host, Time::ZERO, sock, 1000);
+        assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
         let q0 = host.netdevs[0].queue_for_core(0);
         assert_eq!(host.socket(sock).last_tx_queue, Some(q0));
         host.migrate_thread(Time::from_us(1), th, 14);
         // Old queue still has an un-completed packet: XPS must stick.
-        match host.send(Time::from_us(2), sock, 1000) {
+        match send(&mut host, Time::from_us(2), sock, 1000).0 {
             SendOutcome::Sent { .. } => {}
             o => panic!("{o:?}"),
         }
@@ -1567,12 +1618,12 @@ mod tests {
         // Complete outstanding packets.
         for o in &outs {
             if let HostOut::Irq { at, queue } = o {
-                host.irq(*at, *queue);
+                irq(&mut host, *at, *queue);
             }
         }
         // Drain the second send's completion too.
-        host.irq(Time::from_ms(1), q0);
-        match host.send(Time::from_ms(2), sock, 1000) {
+        irq(&mut host, Time::from_ms(1), q0);
+        match send(&mut host, Time::from_ms(2), sock, 1000).0 {
             SendOutcome::Sent { .. } => {}
             o => panic!("{o:?}"),
         }
@@ -1583,7 +1634,7 @@ mod tests {
     #[test]
     fn unknown_flow_dropped() {
         let (mut host, _) = build(DriverModel::OctoTeam);
-        let outs = host.wire_arrival(Time::ZERO, client_flow(9999), 100, 0);
+        let outs = wire(&mut host, Time::ZERO, client_flow(9999), 100, 0);
         assert!(outs.is_empty());
         assert_eq!(host.rx_no_socket_drops(), 1);
     }
@@ -1598,10 +1649,10 @@ mod tests {
         // 3x the pool size worth of packets, consumed as we go.
         for seq in 0..1536u64 {
             t += Dur::from_us(2);
-            let outs = host.wire_arrival(t, flow, 1448, seq);
+            let outs = wire(&mut host, t, flow, 1448, seq);
             for o in outs {
                 if let HostOut::Irq { at, queue } = o {
-                    host.irq(at, queue);
+                    irq(&mut host, at, queue);
                 }
             }
             match host.recv(t + Dur::from_us(1), sock, 1 << 20) {
@@ -1629,7 +1680,7 @@ mod tests {
         host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::PfFail);
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1], "failed over");
         // Traffic keeps flowing through the survivor.
-        let outs = host.wire_arrival(Time::from_ms(2), flow, 1448, 0);
+        let outs = wire(&mut host, Time::from_ms(2), flow, 1448, 0);
         let (at, q) = outs
             .iter()
             .find_map(|o| match o {
@@ -1638,7 +1689,7 @@ mod tests {
             })
             .expect("delivered via surviving PF");
         assert_eq!(host.queue_pf[q.0], pfs[1]);
-        host.irq(at, q);
+        irq(&mut host, at, q);
         match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
             RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
             o => panic!("{o:?}"),
@@ -1656,14 +1707,14 @@ mod tests {
         let flow = client_flow(3001);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
         host.apply_fault(Time::from_us(1), pfs[0], FaultKind::IrqLoss);
-        let outs = host.wire_arrival(Time::from_us(5), flow, 1448, 0);
+        let outs = wire(&mut host, Time::from_us(5), flow, 1448, 0);
         assert!(
             !outs.iter().any(|o| matches!(o, HostOut::Irq { .. })),
             "the MSI-X was swallowed"
         );
         // Nothing delivered yet; the watchdog notices the stale landing.
         let wd_at = Time::from_us(5) + host.config().watchdog_timeout + Dur::from_us(50);
-        let outs = host.watchdog(wd_at);
+        let outs = watchdog(&mut host, wd_at);
         let (at, q) = outs
             .iter()
             .find_map(|o| match o {
@@ -1671,7 +1722,7 @@ mod tests {
                 _ => None,
             })
             .expect("watchdog polls the silent queue");
-        host.irq(at, q);
+        irq(&mut host, at, q);
         match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
             RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
             o => panic!("{o:?}"),
@@ -1686,19 +1737,17 @@ mod tests {
         let flow = client_flow(3002);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
         host.apply_fault(Time::from_us(1), pfs[0], FaultKind::LinkDown);
-        let outs = match host.send(Time::from_us(2), sock, 2000) {
-            SendOutcome::Sent { outs, .. } => outs,
-            o => panic!("{o:?}"),
-        };
+        let (r, outs) = send(&mut host, Time::from_us(2), sock, 2000);
+        assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
         assert!(outs.is_empty(), "doorbell vanished into the dead link");
         assert_eq!(host.robustness().doorbells_lost, 1);
         // While the link is down the watchdog's retry also fails…
-        let outs = host.watchdog(Time::from_us(100));
+        let outs = watchdog(&mut host, Time::from_us(100));
         assert!(outs.is_empty());
         assert_eq!(host.robustness().doorbells_lost, 2);
         // …but after retraining, the re-rung doorbell transmits.
         host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
-        let outs = host.watchdog(Time::from_ms(2));
+        let outs = watchdog(&mut host, Time::from_ms(2));
         assert!(
             outs.iter()
                 .any(|o| matches!(o, HostOut::PacketToPeer { .. })),
@@ -1717,23 +1766,20 @@ mod tests {
         let flow = client_flow(3003);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
         host.apply_fault(Time::from_us(1), pfs[0], FaultKind::PfFail);
-        match host.send(Time::from_us(2), sock, 2000) {
-            SendOutcome::Sent { outs, .. } => {
-                assert!(
-                    !outs
-                        .iter()
-                        .any(|o| matches!(o, HostOut::PacketToPeer { .. })),
-                    "nothing reaches the wire through a dead PF"
-                );
-            }
-            o => panic!("{o:?}"),
-        }
+        let (r, outs) = send(&mut host, Time::from_us(2), sock, 2000);
+        assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, HostOut::PacketToPeer { .. })),
+            "nothing reaches the wire through a dead PF"
+        );
         assert_eq!(host.socket(sock).tx_inflight, 2000);
         // The error completions land immediately; the watchdog polls them.
         let wd_at = Time::from_us(2) + host.config().watchdog_timeout + Dur::from_us(50);
-        for o in host.watchdog(wd_at) {
+        for o in watchdog(&mut host, wd_at) {
             if let HostOut::Irq { at, queue } = o {
-                host.irq(at, queue);
+                irq(&mut host, at, queue);
             }
         }
         assert_eq!(host.socket(sock).tx_inflight, 0, "sender released");
@@ -1754,10 +1800,10 @@ mod tests {
             let mut app_time = Dur::ZERO;
             for seq in 0..64u64 {
                 t += Dur::from_us(3);
-                let outs = host.wire_arrival(t, flow, 1448, seq);
+                let outs = wire(&mut host, t, flow, 1448, seq);
                 for o in outs {
                     if let HostOut::Irq { at, queue } = o {
-                        host.irq(at, queue);
+                        irq(&mut host, at, queue);
                     }
                 }
                 if let RecvOutcome::Data { done_at, .. } =
@@ -1791,12 +1837,12 @@ mod tests {
             if seq == 20 {
                 host.apply_fault(t, pfs[0], FaultKind::PfRecover);
             }
-            for o in host.wire_arrival(t, flow, 1448, seq) {
+            for o in wire(&mut host, t, flow, 1448, seq) {
                 if let HostOut::Irq { at, queue } = o {
-                    host.irq(at, queue);
+                    irq(&mut host, at, queue);
                 }
             }
-            host.send(t, sock, 4096);
+            send(&mut host, t, sock, 4096);
             host.recv(t + Dur::from_us(1), sock, 1 << 20);
             let mut a = Audit::new();
             host.audit(&mut a);
@@ -1804,7 +1850,7 @@ mod tests {
         }
         // Drain in-flight Tx so the pools settle, then audit once more.
         for qi in 0..host.queue_pf.len() {
-            host.irq(t + Dur::from_ms(1), QueueId(qi));
+            irq(&mut host, t + Dur::from_ms(1), QueueId(qi));
         }
         let mut a = Audit::new();
         host.audit(&mut a);
@@ -1864,12 +1910,12 @@ mod tests {
             "control path dead"
         );
         // Watchdog retry against the dead link also fails, with backoff.
-        host.watchdog(Time::from_us(50));
+        watchdog(&mut host, Time::from_us(50));
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1]);
         assert_eq!(host.robustness().steering_reinstall_retries, 1);
         // Link retrains; the next retry past the backoff pulls the flow home.
         host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
-        host.watchdog(Time::from_ms(2));
+        watchdog(&mut host, Time::from_ms(2));
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0], "pulled home");
         assert!(host.robustness().steering_reinstalls >= 1);
         let mut a = Audit::new();

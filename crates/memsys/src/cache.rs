@@ -1,7 +1,9 @@
 //! A per-socket last-level cache with a DDIO way partition.
 //!
-//! The model is set-associative over *touched* sets only (sparse storage), in
-//! MESI-lite: a line is either `Shared` (clean, possibly in several LLCs) or
+//! The model is set-associative with dense, directly indexed sets (a flat
+//! zero-initialized slab of way slots, `ways` consecutive slots per set, so
+//! first-touching a set never allocates), in MESI-lite: a line is either
+//! `Shared` (clean, possibly in several LLCs) or
 //! `Modified` (dirty, in exactly one LLC — the [`system`](crate::system)
 //! façade enforces that invariant by invalidating other caches).
 //!
@@ -10,8 +12,6 @@
 //! of a device carry the `ddio` flag and compete only for those ways, so
 //! device traffic cannot sweep the whole cache — exactly the behaviour that
 //! keeps NIC rings hot without destroying application working sets.
-
-use simcore::FxHashMap;
 
 use crate::topology::{PhysAddr, LINE_BYTES};
 
@@ -24,13 +24,13 @@ pub enum LineState {
     Modified,
 }
 
-#[derive(Debug, Clone)]
-struct Way {
-    tag: u64,
-    state: LineState,
-    ddio: bool,
-    last_use: u64,
-}
+/// Per-slot metadata bits (see [`Llc::meta`]). Validity is positional —
+/// a slot is resident iff it lies below its set's occupancy count — so the
+/// metadata only needs state flags and the recency tick.
+const DIRTY: u64 = 1;
+const DDIO: u64 = 1 << 1;
+/// Bits above the flags hold the slot's last-use tick.
+const TICK_SHIFT: u64 = 2;
 
 /// LLC geometry and sizing.
 #[derive(Debug, Clone, Copy)]
@@ -72,10 +72,33 @@ pub enum Evicted {
 }
 
 /// A single socket's last-level cache.
+///
+/// Storage is a flat slab of way slots, `cfg.ways` consecutive slots per
+/// set, indexed by `line % n_sets`. Every lookup on the DMA and copy paths
+/// walks one set per 64-byte line, so the index must be a direct slice
+/// access rather than a hash probe. Two properties matter for the
+/// zero-allocation hot path:
+///
+/// * The slab is zero-initialized primitive arrays: `vec![0; n]` takes the
+///   zeroed-page allocation path, so construction costs three allocator
+///   calls regardless of geometry, and no slot is ever allocated lazily
+///   during simulation.
+/// * Each set keeps its resident lines packed at the front of its slot
+///   range (`lens` holds the per-set count, maintained by swap-remove on
+///   invalidation). Scans iterate only the resident prefix — typically one
+///   or two slots in the sparse footprints the experiments generate —
+///   rather than the full associativity.
 #[derive(Debug, Clone)]
 pub struct Llc {
     cfg: LlcConfig,
-    sets: FxHashMap<u64, Vec<Way>>,
+    /// Line tag of each way slot; meaningful for the first `lens[set]`
+    /// slots of each set's range.
+    tags: Vec<u64>,
+    /// Packed slot state: `DIRTY | DDIO | last_use << TICK_SHIFT`.
+    meta: Vec<u64>,
+    /// Resident-line count per set (dense prefix length).
+    lens: Vec<u8>,
+    n_sets: u64,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -89,11 +112,17 @@ impl Llc {
     /// total ways, or zero sets).
     pub fn new(cfg: LlcConfig) -> Self {
         assert!(cfg.ways > 0, "cache must have at least one way");
+        assert!(cfg.ways <= u8::MAX as usize, "occupancy counts are u8");
         assert!(cfg.ddio_ways <= cfg.ways, "DDIO ways cannot exceed total");
         assert!(cfg.sets() > 0, "cache must have at least one set");
+        let n_sets = cfg.sets();
+        let slots = n_sets as usize * cfg.ways;
         Llc {
             cfg,
-            sets: FxHashMap::default(),
+            tags: vec![0; slots],
+            meta: vec![0; slots],
+            lens: vec![0; n_sets as usize],
+            n_sets,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -105,23 +134,41 @@ impl Llc {
         self.cfg
     }
 
-    fn set_index(&self, line: u64) -> u64 {
-        line % self.cfg.sets()
+    /// Set index of `line`.
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.n_sets) as usize
+    }
+
+    /// Slot range of the resident prefix of the set holding `line`.
+    fn resident_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = self.set_of(line);
+        let start = set * self.cfg.ways;
+        start..start + self.lens[set] as usize
+    }
+
+    /// Slot index of `line` within its set, if resident.
+    fn find(&self, line: u64) -> Option<usize> {
+        self.resident_range(line).find(|&i| self.tags[i] == line)
+    }
+
+    fn state_of(meta: u64) -> LineState {
+        if meta & DIRTY != 0 {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        }
     }
 
     /// Looks up the line containing `addr`; returns its state on hit.
     /// Updates recency and hit/miss statistics.
     pub fn probe(&mut self, addr: PhysAddr) -> Option<LineState> {
         let line = addr.line();
-        let set = self.set_index(line);
         self.tick += 1;
         let tick = self.tick;
-        if let Some(ways) = self.sets.get_mut(&set) {
-            if let Some(w) = ways.iter_mut().find(|w| w.tag == line) {
-                w.last_use = tick;
-                self.hits += 1;
-                return Some(w.state);
-            }
+        if let Some(i) = self.find(line) {
+            self.meta[i] = (self.meta[i] & (DIRTY | DDIO)) | (tick << TICK_SHIFT);
+            self.hits += 1;
+            return Some(Self::state_of(self.meta[i]));
         }
         self.misses += 1;
         None
@@ -130,12 +177,7 @@ impl Llc {
     /// Looks up without disturbing recency or statistics (snoop from another
     /// agent).
     pub fn peek(&self, addr: PhysAddr) -> Option<LineState> {
-        let line = addr.line();
-        let set = self.set_index(line);
-        self.sets
-            .get(&set)
-            .and_then(|ways| ways.iter().find(|w| w.tag == line))
-            .map(|w| w.state)
+        self.find(addr.line()).map(|i| Self::state_of(self.meta[i]))
     }
 
     /// Inserts (or upgrades) the line containing `addr`.
@@ -145,63 +187,75 @@ impl Llc {
     /// information so the caller can account the writeback.
     pub fn insert(&mut self, addr: PhysAddr, state: LineState, ddio: bool) -> Evicted {
         let line = addr.line();
-        let set = self.set_index(line);
         self.tick += 1;
         let tick = self.tick;
-        let cfg = self.cfg;
-        let ways = self
-            .sets
-            .entry(set)
-            .or_insert_with(|| Vec::with_capacity(cfg.ways));
+        let fresh = if state == LineState::Modified {
+            DIRTY
+        } else {
+            0
+        } | if ddio { DDIO } else { 0 }
+            | (tick << TICK_SHIFT);
 
-        if let Some(w) = ways.iter_mut().find(|w| w.tag == line) {
-            w.last_use = tick;
-            w.ddio = ddio;
-            // Upgrades stick; a Modified line never silently becomes Shared.
-            if state == LineState::Modified {
-                w.state = LineState::Modified;
+        // One pass over the resident prefix gathers everything a decision
+        // needs: the tag match, the partition occupancy, and the LRU victim
+        // of both the whole set and the DDIO partition. Last-use ticks are
+        // unique — every touch consumes a fresh tick — so the victims are
+        // deterministic regardless of slot order.
+        let range = self.resident_range(line);
+        let resident = range.len();
+        let mut ddio_resident = 0usize;
+        let mut lru: Option<usize> = None;
+        let mut ddio_lru: Option<usize> = None;
+        for i in range {
+            if self.tags[i] == line {
+                // Upgrades stick; a Modified line never silently becomes
+                // Shared.
+                self.meta[i] = fresh | (self.meta[i] & DIRTY);
+                return Evicted::None;
             }
-            return Evicted::None;
+            if lru.is_none_or(|b| self.meta[i] >> TICK_SHIFT < self.meta[b] >> TICK_SHIFT) {
+                lru = Some(i);
+            }
+            if self.meta[i] & DDIO != 0 {
+                ddio_resident += 1;
+                if ddio_lru.is_none_or(|b| self.meta[i] >> TICK_SHIFT < self.meta[b] >> TICK_SHIFT)
+                {
+                    ddio_lru = Some(i);
+                }
+            }
         }
 
+        // Non-DDIO fills may use every way.
         let (limit, partition_len) = if ddio {
-            (cfg.ddio_ways, ways.iter().filter(|w| w.ddio).count())
+            (self.cfg.ddio_ways, ddio_resident)
         } else {
-            // Non-DDIO fills may use every way.
-            (cfg.ways, ways.len())
+            (self.cfg.ways, resident)
         };
 
-        let evicted = if partition_len >= limit || ways.len() >= cfg.ways {
+        let (slot, evicted) = if partition_len >= limit || resident >= self.cfg.ways {
             // Evict the LRU line of the relevant partition (or of the whole
             // set if the set itself is full).
-            let victim_idx = ways
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| {
-                    if partition_len >= limit && ddio {
-                        w.ddio
-                    } else {
-                        true
-                    }
-                })
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("partition is non-empty when full");
-            let victim = ways.swap_remove(victim_idx);
-            match victim.state {
-                LineState::Modified => Evicted::Dirty(victim.tag),
-                LineState::Shared => Evicted::Clean,
+            let victim = if partition_len >= limit && ddio {
+                ddio_lru
+            } else {
+                lru
             }
+            .expect("partition is non-empty when full");
+            let evicted = if self.meta[victim] & DIRTY != 0 {
+                Evicted::Dirty(self.tags[victim])
+            } else {
+                Evicted::Clean
+            };
+            (victim, evicted)
         } else {
-            Evicted::None
+            // Grow the resident prefix by one slot.
+            let set = self.set_of(line);
+            self.lens[set] += 1;
+            (set * self.cfg.ways + resident, Evicted::None)
         };
 
-        ways.push(Way {
-            tag: line,
-            state,
-            ddio,
-            last_use: tick,
-        });
+        self.tags[slot] = line;
+        self.meta[slot] = fresh;
         evicted
     }
 
@@ -210,24 +264,27 @@ impl Llc {
     /// DMA overwrite drops them; an eviction writes them back).
     pub fn invalidate(&mut self, addr: PhysAddr) -> Option<LineState> {
         let line = addr.line();
-        let set = self.set_index(line);
-        let ways = self.sets.get_mut(&set)?;
-        let idx = ways.iter().position(|w| w.tag == line)?;
-        Some(ways.swap_remove(idx).state)
+        let i = self.find(line)?;
+        let state = Self::state_of(self.meta[i]);
+        // Swap-remove within the set to keep the resident prefix dense.
+        let set = self.set_of(line);
+        let last = set * self.cfg.ways + self.lens[set] as usize - 1;
+        self.tags[i] = self.tags[last];
+        self.meta[i] = self.meta[last];
+        self.lens[set] -= 1;
+        Some(state)
     }
 
     /// Downgrades a `Modified` line to `Shared` (after a snoop writeback).
     /// Returns `true` if the line was present.
     pub fn downgrade(&mut self, addr: PhysAddr) -> bool {
-        let line = addr.line();
-        let set = self.set_index(line);
-        if let Some(ways) = self.sets.get_mut(&set) {
-            if let Some(w) = ways.iter_mut().find(|w| w.tag == line) {
-                w.state = LineState::Shared;
-                return true;
+        match self.find(addr.line()) {
+            Some(i) => {
+                self.meta[i] &= !DIRTY;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Lifetime hit count.
@@ -242,13 +299,13 @@ impl Llc {
 
     /// Number of resident lines (for tests and diagnostics).
     pub fn resident_lines(&self) -> usize {
-        self.sets.values().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Drops every line, as after `wbinvd`. Dirty data is discarded; tests
-    /// use this to construct cold-cache scenarios.
+    /// use this to construct cold-cache scenarios. Set storage is retained.
     pub fn flush_all(&mut self) {
-        self.sets.clear();
+        self.lens.fill(0);
     }
 }
 

@@ -82,6 +82,20 @@ impl DramGroup {
         self.write_link.reserve(now, bytes)
     }
 
+    /// [`read`](Self::read) on an idle read link with the serialization time
+    /// already known (memoized fast path; see `BwLink::reserve_precomputed`).
+    pub(crate) fn read_precomputed(&mut self, now: Time, bytes: u64, xfer: Dur) -> Time {
+        self.read_bytes += bytes;
+        self.read_link.reserve_precomputed(now, bytes, xfer)
+    }
+
+    /// [`write`](Self::write) on an idle write link with the serialization
+    /// time already known (memoized fast path).
+    pub(crate) fn write_precomputed(&mut self, now: Time, bytes: u64, xfer: Dur) -> Time {
+        self.write_bytes += bytes;
+        self.write_link.reserve_precomputed(now, bytes, xfer)
+    }
+
     /// Bytes read since the last counter reset.
     pub fn read_bytes(&self) -> u64 {
         self.read_bytes
@@ -103,6 +117,16 @@ impl DramGroup {
         self.read_link
             .queue_delay(now)
             .max(self.write_link.queue_delay(now))
+    }
+
+    /// Queueing delay on the read link alone (memo idleness gate).
+    pub(crate) fn read_queue_delay(&self, now: Time) -> Dur {
+        self.read_link.queue_delay(now)
+    }
+
+    /// Queueing delay on the write link alone (memo idleness gate).
+    pub(crate) fn write_queue_delay(&self, now: Time) -> Dur {
+        self.write_link.queue_delay(now)
     }
 
     /// Resets the byte counters (measurement-window start). In-flight

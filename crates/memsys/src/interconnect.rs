@@ -6,7 +6,7 @@
 //! full-duplex: Figure 11's STREAM antagonists saturate one direction while
 //! the other still carries acknowledgements.
 
-use simcore::{BwLink, Dur, FxHashMap, Time};
+use simcore::{BwLink, Dur, Time};
 
 use crate::topology::NodeId;
 
@@ -44,28 +44,31 @@ impl InterconnectConfig {
 /// All interconnect directions of the machine.
 ///
 /// Fully connected: every ordered node pair gets its own direction server
-/// (trivially two for a dual-socket machine).
+/// (trivially two for a dual-socket machine). Directions are stored densely
+/// — indexed by `from * nodes + to` — so the per-transfer lookup on the DMA
+/// hot path is an array index, not a hash.
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     cfg: InterconnectConfig,
-    dirs: FxHashMap<(NodeId, NodeId), BwLink>,
+    nodes: usize,
+    /// `dirs[from * nodes + to]`; `None` on the diagonal (from == to).
+    dirs: Vec<Option<BwLink>>,
 }
 
 impl Interconnect {
     /// Builds the interconnect for `nodes` fully connected sockets.
     pub fn new(nodes: usize, cfg: InterconnectConfig) -> Self {
-        let mut dirs = FxHashMap::default();
+        let mut dirs = Vec::with_capacity(nodes * nodes);
         for a in 0..nodes {
             for b in 0..nodes {
-                if a != b {
-                    dirs.insert(
-                        (NodeId(a), NodeId(b)),
-                        BwLink::new(format!("qpi{a}->{b}"), cfg.bytes_per_sec, cfg.latency),
-                    );
-                }
+                dirs.push(
+                    (a != b).then(|| {
+                        BwLink::new(format!("qpi{a}->{b}"), cfg.bytes_per_sec, cfg.latency)
+                    }),
+                );
             }
         }
-        Interconnect { cfg, dirs }
+        Interconnect { cfg, nodes, dirs }
     }
 
     /// The one-hop crossing latency.
@@ -81,6 +84,20 @@ impl Interconnect {
             return now;
         }
         self.dir_mut(from, to).reserve(now, bytes)
+    }
+
+    /// [`transfer`](Self::transfer) on an idle direction with the
+    /// serialization time already known (memoized fast path; see
+    /// `BwLink::reserve_precomputed`). Must not be called with `from == to`.
+    pub(crate) fn transfer_precomputed(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        xfer: Dur,
+    ) -> Time {
+        self.dir_mut(from, to).reserve_precomputed(now, bytes, xfer)
     }
 
     /// The current queueing delay in the `from → to` direction.
@@ -101,25 +118,27 @@ impl Interconnect {
 
     /// Total bytes across every direction since the last reset.
     pub fn total_bytes(&self) -> u64 {
-        self.dirs.values().map(BwLink::total_bytes).sum()
+        self.dirs.iter().flatten().map(BwLink::total_bytes).sum()
     }
 
     /// Resets all traffic meters.
     pub fn reset_counters(&mut self) {
-        for l in self.dirs.values_mut() {
+        for l in self.dirs.iter_mut().flatten() {
             l.reset_meter();
         }
     }
 
     fn dir(&self, from: NodeId, to: NodeId) -> &BwLink {
         self.dirs
-            .get(&(from, to))
+            .get(from.0 * self.nodes + to.0)
+            .and_then(Option::as_ref)
             .unwrap_or_else(|| panic!("no interconnect direction {from}->{to}"))
     }
 
     fn dir_mut(&mut self, from: NodeId, to: NodeId) -> &mut BwLink {
         self.dirs
-            .get_mut(&(from, to))
+            .get_mut(from.0 * self.nodes + to.0)
+            .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("no interconnect direction {from}->{to}"))
     }
 }

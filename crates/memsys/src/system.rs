@@ -1,8 +1,24 @@
 //! The memory-system façade: every CPU access and device DMA goes through
 //! [`MemSystem`], which accounts cache state, DRAM/interconnect bandwidth,
 //! and returns how long the access stalls the initiator.
+//!
+//! # Uncontended-stall memoization
+//!
+//! The stall returned for a DMA or CPU access decomposes into (a) state
+//! transitions — LLC probes/inserts/invalidations, byte counters, link
+//! busy-horizon advances — which always execute, and (b) arithmetic that is
+//! a pure function of `(initiator node, home node, access kind, line
+//! classification)` *whenever the touched links are idle*. A small
+//! generation-stamped table ([`StallMemo`]) caches (b), turning the common
+//! steady-state case (links drained between packets) into a single hash
+//! lookup instead of several `u128` bandwidth divisions. Lookups are gated
+//! on link idleness (`queue_delay == 0`), so congestion always takes the
+//! exact slow path; the generation is bumped whenever DDIO/LLC configuration
+//! changes. In debug builds every replayed reservation re-checks its
+//! serialization time against the uncached formula (see
+//! `BwLink::reserve_precomputed`), so the memo cannot silently diverge.
 
-use simcore::{Dur, Time};
+use simcore::{Dur, FxHashMap, Time};
 
 use crate::alloc::PhysAllocator;
 use crate::cache::{Evicted, LineState, Llc, LlcConfig};
@@ -98,6 +114,84 @@ impl MemConfig {
     }
 }
 
+/// Memo-key path discriminants (which formula produced the entry).
+const MEMO_DMA_WRITE_DDIO: u8 = 0;
+const MEMO_DMA_WRITE_DRAM: u8 = 1;
+const MEMO_DMA_READ_LOCAL: u8 = 2;
+const MEMO_DMA_READ_REMOTE: u8 = 3;
+const MEMO_CPU_PTR: u8 = 4;
+const MEMO_CPU_STREAM: u8 = 5;
+
+/// A memoized uncontended access: the serialization times to replay on the
+/// idle links plus the exposed stall to return.
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    /// Generation at insert time; stale entries are ignored on lookup.
+    gen: u64,
+    /// DRAM-link serialization time for the access's DRAM bytes.
+    d_xfer: Dur,
+    /// Interconnect serialization time (`ZERO` when nothing crosses).
+    q_xfer: Dur,
+    /// The stall returned to the initiator.
+    exposed: Dur,
+}
+
+/// Small generation-stamped table of uncontended stall computations.
+///
+/// Keys pack `(path, node a, node b, line classification)` into a `u64`;
+/// invalidation is lazy — bumping the generation orphans every existing
+/// entry without touching the map.
+#[derive(Debug, Default)]
+struct StallMemo {
+    gen: u64,
+    entries: FxHashMap<u64, MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StallMemo {
+    /// Bound on live + orphaned entries; crossing it clears the table (the
+    /// working set of distinct access shapes is far smaller).
+    const MAX_ENTRIES: usize = 4096;
+
+    fn key(path: u8, a: usize, b: usize, n: u64) -> u64 {
+        debug_assert!(a < 256 && b < 256 && n < 1 << 40);
+        (path as u64) << 56 | (a as u64) << 48 | (b as u64) << 40 | n
+    }
+
+    fn get(&mut self, key: u64) -> Option<MemoEntry> {
+        match self.entries.get(&key) {
+            Some(e) if e.gen == self.gen => {
+                self.hits += 1;
+                Some(*e)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: u64, d_xfer: Dur, q_xfer: Dur, exposed: Dur) {
+        if self.entries.len() >= Self::MAX_ENTRIES {
+            self.entries.clear();
+        }
+        self.entries.insert(
+            key,
+            MemoEntry {
+                gen: self.gen,
+                d_xfer,
+                q_xfer,
+                exposed,
+            },
+        );
+    }
+
+    fn invalidate(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+    }
+}
+
 /// The machine's memory system: LLCs, DRAM, interconnect, and allocator.
 #[derive(Debug)]
 pub struct MemSystem {
@@ -106,6 +200,7 @@ pub struct MemSystem {
     dram: Vec<DramGroup>,
     qpi: Interconnect,
     alloc: PhysAllocator,
+    memo: StallMemo,
 }
 
 impl MemSystem {
@@ -122,6 +217,7 @@ impl MemSystem {
             dram,
             qpi,
             alloc,
+            memo: StallMemo::default(),
         }
     }
 
@@ -136,8 +232,17 @@ impl MemSystem {
     }
 
     /// Enables or disables DDIO (Figure 9's `llnd` configuration).
+    /// Invalidates the stall memo: cached DMA-write shapes chose their
+    /// formula under the old setting.
     pub fn set_ddio(&mut self, on: bool) {
         self.cfg.ddio = on;
+        self.memo.invalidate();
+    }
+
+    /// `(hits, misses)` of the uncontended-stall memo since construction
+    /// (diagnostics and tests).
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits, self.memo.misses)
     }
 
     /// Whether DDIO is active.
@@ -252,11 +357,42 @@ impl MemSystem {
             }
         }
 
-        // Bandwidth accounting.
-        let mut done = now;
-        let mut fixed = Dur::ZERO;
+        // Bandwidth accounting. Writebacks flush first so the memoized
+        // early-return below still performs them; this is order-equivalent to
+        // flushing last because writebacks touch only DRAM *write* links and
+        // outbound (`node -> victim`) interconnect directions, disjoint from
+        // the miss path's read link and inbound (`home -> node`) direction.
         let miss_bytes = miss_lines * LINE_BYTES;
         let c2c_bytes = c2c_lines * LINE_BYTES;
+        let idle = miss_bytes == 0
+            || (self.dram[home.0].read_queue_delay(now) == Dur::ZERO
+                && (home == node || self.qpi.queue_delay(now, home, node) == Dur::ZERO));
+        self.flush_writebacks(now, node, &wb);
+        // Given the walk's classification, the stall arithmetic is pure when
+        // the links are idle — except for cache-to-cache transfers, whose
+        // peer snoop loop stays on the slow path.
+        let memo_key = if c2c_lines == 0 && idle {
+            let path = match kind {
+                AccessKind::Pointer => MEMO_CPU_PTR,
+                AccessKind::Stream => MEMO_CPU_STREAM,
+            };
+            let key = StallMemo::key(path, node.0, home.0, hit_lines << 20 | miss_lines);
+            if let Some(e) = self.memo.get(key) {
+                if miss_bytes > 0 {
+                    self.dram[home.0].read_precomputed(now, miss_bytes, e.d_xfer);
+                    if home != node {
+                        self.qpi
+                            .transfer_precomputed(now, home, node, miss_bytes, e.q_xfer);
+                    }
+                }
+                return e.exposed;
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let mut done = now;
+        let mut fixed = Dur::ZERO;
         if miss_bytes > 0 {
             // Serial DRAM-then-interconnect path. Every hop is reserved at
             // `now` and the durations are summed: reserving at each hop's
@@ -292,7 +428,6 @@ impl MemSystem {
             }
             fixed = fixed.max(snoop);
         }
-        self.flush_writebacks(now, node, &wb);
 
         let hit_cost = if hit_lines > 0 {
             self.cfg.llc_hit_latency
@@ -308,7 +443,17 @@ impl MemSystem {
                 raw.saturating_sub(hidden)
             }
         };
-        hit_cost + exposed
+        let result = hit_cost + exposed;
+        if let Some(key) = memo_key {
+            let d_xfer = Dur::for_bytes(miss_bytes, self.cfg.dram.bytes_per_sec);
+            let q_xfer = if home != node {
+                Dur::for_bytes(miss_bytes, self.cfg.interconnect.bytes_per_sec)
+            } else {
+                Dur::ZERO
+            };
+            self.memo.put(key, d_xfer, q_xfer, result);
+        }
+        result
     }
 
     /// Bulk non-allocating CPU access (the STREAM antagonist): consumes DRAM
@@ -356,42 +501,80 @@ impl MemSystem {
         let home = addr.home();
         let local = dev_node == home;
         let lines = addr.lines_spanned(len);
-        let mut hit_lines = 0u64;
-        for i in 0..lines {
-            let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
-            if self.llcs[home.0].peek(a).is_some() {
-                hit_lines += 1;
-            }
-        }
-        let miss_lines = lines - hit_lines;
+        let bytes = lines * LINE_BYTES;
 
-        let mut done = now;
-        let mut fixed = Dur::ZERO;
         if local {
             // DDIO serves local DMA reads from the LLC when the data is
             // there; only misses touch DRAM.
+            let mut hit_lines = 0u64;
+            for i in 0..lines {
+                let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
+                if self.llcs[home.0].peek(a).is_some() {
+                    hit_lines += 1;
+                }
+            }
+            let miss_lines = lines - hit_lines;
+            let miss_bytes = miss_lines * LINE_BYTES;
+            let idle = miss_lines == 0 || self.dram[home.0].read_queue_delay(now) == Dur::ZERO;
+            // The packed key holds two 20-bit line counts; larger accesses
+            // (> 64 MB) just skip the memo.
+            let memoizable = idle && lines < 1 << 20;
+            let key = StallMemo::key(MEMO_DMA_READ_LOCAL, home.0, 0, hit_lines << 20 | miss_lines);
+            if memoizable {
+                if let Some(e) = self.memo.get(key) {
+                    if miss_bytes > 0 {
+                        self.dram[home.0].read_precomputed(now, miss_bytes, e.d_xfer);
+                    }
+                    return e.exposed;
+                }
+            }
+            let mut done = now;
+            let mut fixed = Dur::ZERO;
             if miss_lines > 0 {
-                done = done.max(self.dram[home.0].read(now, miss_lines * LINE_BYTES));
+                done = done.max(self.dram[home.0].read(now, miss_bytes));
                 fixed = fixed.max(self.cfg.dram.latency);
             }
             if hit_lines > 0 {
                 fixed = fixed.max(self.cfg.llc_hit_latency);
             }
+            let raw = done.since(now);
+            let exposed = raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap));
+            if memoizable {
+                let d_xfer = Dur::for_bytes(miss_bytes, self.cfg.dram.bytes_per_sec);
+                self.memo.put(key, d_xfer, Dur::ZERO, exposed);
+            }
+            exposed
         } else {
             // Parallel probe: DRAM read bandwidth for the full payload, LLC
             // data used when present (no invalidation, no downgrade). The
             // data then crosses the interconnect to the device's socket.
             // Both hops reserved at `now`, durations summed (see cpu_access).
-            let d_dur = self.dram[home.0].read(now, lines * LINE_BYTES).since(now);
-            let q_dur = self
-                .qpi
-                .transfer(now, home, dev_node, lines * LINE_BYTES)
-                .since(now);
-            done = done.max(now + d_dur + q_dur);
-            fixed = fixed.max(self.cfg.dram.latency + self.qpi.hop_latency());
+            // Because the full payload is charged whether or not the home
+            // LLC holds it, the stall is independent of cache content — the
+            // per-line walk is skipped entirely (`peek` is side-effect-free).
+            let idle = self.dram[home.0].read_queue_delay(now) == Dur::ZERO
+                && self.qpi.queue_delay(now, home, dev_node) == Dur::ZERO;
+            let key = StallMemo::key(MEMO_DMA_READ_REMOTE, home.0, dev_node.0, lines);
+            if idle {
+                if let Some(e) = self.memo.get(key) {
+                    self.dram[home.0].read_precomputed(now, bytes, e.d_xfer);
+                    self.qpi
+                        .transfer_precomputed(now, home, dev_node, bytes, e.q_xfer);
+                    return e.exposed;
+                }
+            }
+            let d_dur = self.dram[home.0].read(now, bytes).since(now);
+            let q_dur = self.qpi.transfer(now, home, dev_node, bytes).since(now);
+            let raw = d_dur + q_dur;
+            let fixed = self.cfg.dram.latency + self.qpi.hop_latency();
+            let exposed = raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap));
+            if idle {
+                let d_xfer = Dur::for_bytes(bytes, self.cfg.dram.bytes_per_sec);
+                let q_xfer = Dur::for_bytes(bytes, self.cfg.interconnect.bytes_per_sec);
+                self.memo.put(key, d_xfer, q_xfer, exposed);
+            }
+            exposed
         }
-        let raw = done.since(now);
-        raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap))
     }
 
     /// A device attached to `dev_node` DMA-writes `len` bytes at `addr`
@@ -409,11 +592,10 @@ impl MemSystem {
         let home = addr.home();
         let local = dev_node == home;
         let lines = addr.lines_spanned(len);
-        let mut wb = WritebackAcc::default();
-        let mut done = now;
-        let mut fixed = Dur::ZERO;
+        let bytes = lines * LINE_BYTES;
 
         if local && self.cfg.ddio {
+            let mut wb = WritebackAcc::default();
             for i in 0..lines {
                 let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
                 // Peers lose their copies (full overwrite: dirty data is
@@ -426,8 +608,18 @@ impl MemSystem {
                     Evicted::Clean | Evicted::None => {}
                 }
             }
-            fixed = fixed.max(self.cfg.llc_hit_latency);
-            done += Dur::for_bytes(lines * LINE_BYTES, self.cfg.llc_bytes_per_sec);
+            self.flush_writebacks(now, home, &wb);
+            // The stall is pure in `lines` (no bandwidth server on this
+            // path), so the memo needs no idleness gate.
+            let key = StallMemo::key(MEMO_DMA_WRITE_DDIO, home.0, 0, lines);
+            if let Some(e) = self.memo.get(key) {
+                return e.exposed;
+            }
+            let raw = Dur::for_bytes(bytes, self.cfg.llc_bytes_per_sec);
+            let fixed = self.cfg.llc_hit_latency;
+            let exposed = raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap));
+            self.memo.put(key, Dur::ZERO, Dur::ZERO, exposed);
+            exposed
         } else {
             for i in 0..lines {
                 let a = PhysAddr(addr.line() * LINE_BYTES + i * LINE_BYTES);
@@ -435,24 +627,44 @@ impl MemSystem {
                     llc.invalidate(a);
                 }
             }
+            let idle = self.dram[home.0].write_queue_delay(now) == Dur::ZERO
+                && (local || self.qpi.queue_delay(now, dev_node, home) == Dur::ZERO);
+            let key = StallMemo::key(MEMO_DMA_WRITE_DRAM, dev_node.0, home.0, lines);
+            if idle {
+                if let Some(e) = self.memo.get(key) {
+                    if !local {
+                        self.qpi
+                            .transfer_precomputed(now, dev_node, home, bytes, e.q_xfer);
+                    }
+                    self.dram[home.0].write_precomputed(now, bytes, e.d_xfer);
+                    return e.exposed;
+                }
+            }
             // The write crosses the interconnect first (for a remote home),
             // then drains into the home DRAM. Hops reserved at `now`,
             // durations summed (see cpu_access).
+            let mut fixed = Dur::ZERO;
             let q_dur = if local {
                 Dur::ZERO
             } else {
                 fixed = fixed.max(self.qpi.hop_latency());
-                self.qpi
-                    .transfer(now, dev_node, home, lines * LINE_BYTES)
-                    .since(now)
+                self.qpi.transfer(now, dev_node, home, bytes).since(now)
             };
-            let d_dur = self.dram[home.0].write(now, lines * LINE_BYTES).since(now);
-            done = done.max(now + q_dur + d_dur);
+            let d_dur = self.dram[home.0].write(now, bytes).since(now);
             fixed += self.cfg.dram.latency;
+            let raw = q_dur + d_dur;
+            let exposed = raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap));
+            if idle {
+                let q_xfer = if local {
+                    Dur::ZERO
+                } else {
+                    Dur::for_bytes(bytes, self.cfg.interconnect.bytes_per_sec)
+                };
+                let d_xfer = Dur::for_bytes(bytes, self.cfg.dram.bytes_per_sec);
+                self.memo.put(key, d_xfer, q_xfer, exposed);
+            }
+            exposed
         }
-        self.flush_writebacks(now, home, &wb);
-        let raw = done.since(now);
-        raw.saturating_sub(fixed * (1.0 - self.cfg.stream_overlap))
     }
 
     /// Extra latency a CPU-initiated MMIO (doorbell) pays when the device
@@ -501,11 +713,15 @@ impl MemSystem {
         self.llcs[node.0].peek(addr)
     }
 
-    /// Drops all cached lines (cold-start for tests).
+    /// Drops all cached lines (cold-start for tests). Also invalidates the
+    /// stall memo (conservative: the memoized formulas are classification-
+    /// keyed and LLC-content-independent, but a cache reconfiguration event
+    /// should never be able to replay stale arithmetic).
     pub fn flush_caches(&mut self) {
         for llc in &mut self.llcs {
             llc.flush_all();
         }
+        self.memo.invalidate();
     }
 
     fn invalidate_peers(
@@ -755,6 +971,120 @@ mod tests {
         m.reset_counters();
         assert_eq!(m.counters().total_dram_bytes(), 0);
         assert_eq!(m.counters().interconnect_bytes, 0);
+    }
+
+    #[test]
+    fn memoized_dma_write_stall_matches_fresh() {
+        // A replayed access served from the memo must return bit-identical
+        // stalls to a fresh system computing the same access uncached, for
+        // both DDIO-local and remote (DRAM) paths, DDIO on and off.
+        for ddio in [true, false] {
+            for dev in [N0, N1] {
+                for len in [64u64, 1448, 65536] {
+                    let mut warm = mem();
+                    warm.set_ddio(ddio);
+                    let wb = warm.alloc(N0, 1 << 20);
+                    warm.dma_write(Time::ZERO, dev, wb, len);
+                    let memoized =
+                        warm.dma_write(Time::from_ms(5), dev, wb.offset(256 * 1024), len);
+                    let mut cold = mem();
+                    cold.set_ddio(ddio);
+                    let cb = cold.alloc(N0, 1 << 20);
+                    let fresh = cold.dma_write(Time::from_ms(5), dev, cb.offset(256 * 1024), len);
+                    assert_eq!(memoized, fresh, "ddio={ddio} dev={dev} len={len}");
+                    let (hits, _) = warm.memo_stats();
+                    assert!(hits >= 1, "second write must be served from the memo");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_dma_read_stall_matches_fresh() {
+        for dev in [N0, N1] {
+            for len in [64u64, 1448, 65536] {
+                let mut warm = mem();
+                let wb = warm.alloc(N0, 1 << 20);
+                warm.dma_read(Time::ZERO, dev, wb, len);
+                let memoized = warm.dma_read(Time::from_ms(5), dev, wb.offset(256 * 1024), len);
+                let mut cold = mem();
+                let cb = cold.alloc(N0, 1 << 20);
+                let fresh = cold.dma_read(Time::from_ms(5), dev, cb.offset(256 * 1024), len);
+                assert_eq!(memoized, fresh, "dev={dev} len={len}");
+                let (hits, _) = warm.memo_stats();
+                assert!(hits >= 1, "second read must be served from the memo");
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_cpu_stall_matches_fresh() {
+        for kind in [AccessKind::Pointer, AccessKind::Stream] {
+            for target in [N0, N1] {
+                let mut warm = mem();
+                let wb = warm.alloc(target, 1 << 20);
+                warm.cpu_read(Time::ZERO, N0, wb, 4096, kind);
+                let memoized =
+                    warm.cpu_read(Time::from_ms(5), N0, wb.offset(256 * 1024), 4096, kind);
+                let mut cold = mem();
+                let cb = cold.alloc(target, 1 << 20);
+                let fresh = cold.cpu_read(Time::from_ms(5), N0, cb.offset(256 * 1024), 4096, kind);
+                assert_eq!(memoized, fresh, "kind={kind:?} target={target}");
+                let (hits, _) = warm.memo_stats();
+                assert!(hits >= 1, "second miss-pattern read must hit the memo");
+            }
+        }
+    }
+
+    #[test]
+    fn memo_replay_still_consumes_bandwidth() {
+        // A memo hit must perform the same byte accounting as the slow path:
+        // counters and link meters advance identically.
+        let mut m = mem();
+        let b = m.alloc(N0, 1 << 20);
+        m.dma_write(Time::ZERO, N1, b, 1448);
+        let before = m.counters();
+        m.dma_write(Time::from_ms(5), N1, b.offset(4096), 1448);
+        let (hits, _) = m.memo_stats();
+        assert!(hits >= 1);
+        let after = m.counters();
+        assert_eq!(
+            after.dram_write_bytes(N0) - before.dram_write_bytes(N0),
+            1472,
+            "memo replay must bump DRAM write bytes (23 lines)"
+        );
+        assert_eq!(
+            after.interconnect_bytes - before.interconnect_bytes,
+            1472,
+            "memo replay must bump interconnect bytes"
+        );
+    }
+
+    #[test]
+    fn memo_bypassed_under_congestion() {
+        // With the home write link saturated, the idleness gate must route
+        // the access down the exact queueing path, not the memo.
+        let mut m = mem();
+        let b = m.alloc(N0, 1 << 20);
+        let quiet = m.dma_write(Time::ZERO, N1, b, 1448);
+        m.cpu_stream_through(Time::from_ms(5), N1, N0, 38_400_000, true);
+        let congested = m.dma_write(Time::from_ms(5), N1, b.offset(4096), 1448);
+        assert!(
+            congested > quiet * 10,
+            "congestion must still be modeled exactly: quiet={quiet} congested={congested}"
+        );
+    }
+
+    #[test]
+    fn memo_generation_invalidates_entries() {
+        let mut memo = StallMemo::default();
+        let k = StallMemo::key(MEMO_DMA_WRITE_DRAM, 1, 0, 23);
+        memo.put(k, Dur::from_ns(10), Dur::from_ns(20), Dur::from_ns(30));
+        assert!(memo.get(k).is_some());
+        memo.invalidate();
+        assert!(memo.get(k).is_none(), "stale generation must not be served");
+        memo.put(k, Dur::from_ns(1), Dur::from_ns(2), Dur::from_ns(3));
+        assert_eq!(memo.get(k).expect("restamped").exposed, Dur::from_ns(3));
     }
 
     #[test]

@@ -39,12 +39,94 @@ impl TxFragment {
     }
 }
 
+/// Fragment list with the first fragment stored inline.
+///
+/// Nearly every descriptor carries exactly one fragment, and the TX path
+/// posts one descriptor per message chunk — a `Vec` here would be a heap
+/// allocation per packet on the steady-state hot path (the
+/// `alloc_regression` test holds that line at zero). The inline slot makes
+/// the common case allocation-free; scatter-gather descriptors (IOctoSG
+/// sendfile, §3.3) spill fragments beyond the first into `rest`, reusing
+/// the builder's `Vec`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FragList {
+    first: Option<TxFragment>,
+    rest: Vec<TxFragment>,
+}
+
+impl FragList {
+    /// A single-fragment list. Performs no heap allocation.
+    pub fn one(frag: TxFragment) -> Self {
+        FragList {
+            first: Some(frag),
+            rest: Vec::new(),
+        }
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        usize::from(self.first.is_some()) + self.rest.len()
+    }
+
+    /// Whether the list holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// Iterates the fragments in order.
+    pub fn iter(&self) -> impl Iterator<Item = &TxFragment> {
+        self.first.iter().chain(self.rest.iter())
+    }
+}
+
+impl From<Vec<TxFragment>> for FragList {
+    fn from(mut v: Vec<TxFragment>) -> Self {
+        if v.is_empty() {
+            return FragList::default();
+        }
+        // Keep the caller's allocation for the tail instead of copying.
+        let first = v.remove(0);
+        FragList {
+            first: Some(first),
+            rest: v,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for FragList {
+    type Output = TxFragment;
+    fn index(&self, i: usize) -> &TxFragment {
+        match i {
+            0 => self.first.as_ref().expect("empty fragment list"),
+            _ => &self.rest[i - 1],
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for FragList {
+    fn index_mut(&mut self, i: usize) -> &mut TxFragment {
+        match i {
+            0 => self.first.as_mut().expect("empty fragment list"),
+            _ => &mut self.rest[i - 1],
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FragList {
+    type Item = &'a TxFragment;
+    type IntoIter =
+        std::iter::Chain<std::option::Iter<'a, TxFragment>, std::slice::Iter<'a, TxFragment>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.first.iter().chain(self.rest.iter())
+    }
+}
+
 /// A transmit work descriptor: one *wire packet* (post-TSO segmentation is
 /// performed by the device; see [`crate::tso`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxDesc {
     /// Payload fragments (usually one).
-    pub fragments: Vec<TxFragment>,
+    pub fragments: FragList,
     /// The flow this packet belongs to.
     pub flow: FlowTuple,
     /// Total payload bytes across fragments, pre-segmentation. Up to 64 KiB
@@ -55,10 +137,11 @@ pub struct TxDesc {
 }
 
 impl TxDesc {
-    /// A simple single-fragment descriptor.
+    /// A simple single-fragment descriptor. Performs no heap allocation —
+    /// this is the constructor on the per-packet send path.
     pub fn simple(addr: PhysAddr, len: u64, flow: FlowTuple, tso: bool) -> Self {
         TxDesc {
-            fragments: vec![TxFragment::plain(addr, len)],
+            fragments: FragList::one(TxFragment::plain(addr, len)),
             flow,
             len,
             tso,
@@ -130,7 +213,7 @@ mod tests {
     #[test]
     fn zero_length_is_inconsistent() {
         let d = TxDesc {
-            fragments: vec![],
+            fragments: FragList::default(),
             flow: flow(),
             len: 0,
             tso: false,

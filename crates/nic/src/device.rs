@@ -154,6 +154,17 @@ pub struct TxOutcome {
     pub errors: u64,
 }
 
+impl TxOutcome {
+    /// Empties the outcome for reuse, keeping the vectors' capacity so a
+    /// recycled scratch outcome never reallocates in steady state.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.completions.clear();
+        self.irq = None;
+        self.errors = 0;
+    }
+}
+
 /// Robustness counters: everything the device absorbed instead of
 /// panicking. Deterministic for a given run (same seed + same fault plan).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -500,6 +511,10 @@ impl Nic {
     /// is executing at, used for all shared-resource reservations (bandwidth
     /// must never be reserved at chained future times — that pushes FIFO
     /// horizons ahead of concurrent traffic and destabilizes the model).
+    ///
+    /// Results land in `out`, a caller-owned scratch outcome that is
+    /// cleared on entry and recycled across doorbells so the Tx path does
+    /// not allocate in steady state.
     pub fn tx_doorbell(
         &mut self,
         doorbell_at: Time,
@@ -507,13 +522,14 @@ impl Nic {
         q: QueueId,
         fabric: &mut PcieFabric,
         mem: &mut MemSystem,
-    ) -> TxOutcome {
-        let mut out = TxOutcome::default();
+        out: &mut TxOutcome,
+    ) {
+        out.clear();
         let Some((pf, irq_core, node)) = self
             .queue(q)
             .map(|qq| (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node))
         else {
-            return out;
+            return;
         };
         if !self.pf_alive[pf.0] {
             // Doorbell rang on a dead function: everything posted completes
@@ -523,7 +539,7 @@ impl Nic {
             let n = Self::flush_queue_on_reset(qq, doorbell_at);
             self.counters.error_completions += n;
             out.errors += n;
-            return out;
+            return;
         }
         // The engine is pipelined: it spends `processing_delay` of occupancy
         // per descriptor while the DMA latencies of consecutive packets
@@ -564,13 +580,17 @@ impl Nic {
             };
             t = engine + slowest;
 
-            // Segment onto the wire.
-            let segments = if desc.tso {
-                tso::segment(desc.len, self.cfg.mss)
+            // Segment onto the wire. Non-TSO descriptors go out as one
+            // packet; TSO ones stream through the segment iterator, so
+            // neither path allocates.
+            if desc.tso {
+                for seg in tso::segments(desc.len, self.cfg.mss) {
+                    let arrive = self.wire.send_tx(t, seg);
+                    self.tx_bytes_per_pf[pf.0] += seg;
+                    out.packets.push((arrive, desc.flow, seg));
+                }
             } else {
-                vec![desc.len]
-            };
-            for seg in segments {
+                let seg = desc.len;
                 let arrive = self.wire.send_tx(t, seg);
                 self.tx_bytes_per_pf[pf.0] += seg;
                 out.packets.push((arrive, desc.flow, seg));
@@ -627,7 +647,6 @@ impl Nic {
             }
         }
         self.queues[q.0].busy_until = engine;
-        out
     }
 
     /// Synthesizes an error CQE for `desc` at `at` (control path, no DMA
@@ -857,14 +876,16 @@ impl Nic {
     }
 
     fn rss_fallback(&self, pf: PfId, flow: &FlowTuple) -> Option<QueueId> {
-        let candidates: Vec<QueueId> = (0..self.queues.len())
-            .filter(|i| self.queues[*i].cfg.pf == pf)
-            .map(QueueId)
-            .collect();
-        if candidates.is_empty() {
+        // Count-then-nth keeps this per-packet fallback allocation-free.
+        let n = self.queues.iter().filter(|q| q.cfg.pf == pf).count();
+        if n == 0 {
             return None;
         }
-        Some(candidates[(flow.rss_hash() % candidates.len() as u64) as usize])
+        let pick = (flow.rss_hash() % n as u64) as usize;
+        (0..self.queues.len())
+            .filter(|i| self.queues[*i].cfg.pf == pf)
+            .nth(pick)
+            .map(QueueId)
     }
 
     /// Resolves a queue reference, counting (rather than panicking on)
@@ -1155,9 +1176,15 @@ mod tests {
         r.nic
             .post_tx(r.q0, TxDesc::simple(payload, 1448, flow(), false))
             .unwrap();
-        let out = r
-            .nic
-            .tx_doorbell(Time::ZERO, Time::ZERO, r.q0, &mut r.fab, &mut r.mem);
+        let mut out = TxOutcome::default();
+        r.nic.tx_doorbell(
+            Time::ZERO,
+            Time::ZERO,
+            r.q0,
+            &mut r.fab,
+            &mut r.mem,
+            &mut out,
+        );
         assert_eq!(out.packets.len(), 1);
         assert_eq!(out.packets[0].2, 1448);
         assert_eq!(out.completions.len(), 1);
@@ -1173,9 +1200,15 @@ mod tests {
         r.nic
             .post_tx(r.q0, TxDesc::simple(payload, 64 * 1024, flow(), true))
             .unwrap();
-        let out = r
-            .nic
-            .tx_doorbell(Time::ZERO, Time::ZERO, r.q0, &mut r.fab, &mut r.mem);
+        let mut out = TxOutcome::default();
+        r.nic.tx_doorbell(
+            Time::ZERO,
+            Time::ZERO,
+            r.q0,
+            &mut r.fab,
+            &mut r.mem,
+            &mut out,
+        );
         let expect = tso::segment_count(64 * 1024, crate::wire::MSS);
         assert_eq!(out.packets.len() as u64, expect);
         assert_eq!(out.packets.iter().map(|p| p.2).sum::<u64>(), 64 * 1024);
@@ -1201,7 +1234,8 @@ mod tests {
                     len: 448,
                     pf_hint: Some(r.pfs[1]),
                 },
-            ],
+            ]
+            .into(),
             flow: flow(),
             len: 1448,
             tso: false,
@@ -1209,8 +1243,14 @@ mod tests {
         r.nic.post_tx(r.q0, desc).unwrap();
         let before0 = r.fab.downstream_bytes(r.pfs[0]);
         let before1 = r.fab.downstream_bytes(r.pfs[1]);
-        r.nic
-            .tx_doorbell(Time::ZERO, Time::ZERO, r.q0, &mut r.fab, &mut r.mem);
+        r.nic.tx_doorbell(
+            Time::ZERO,
+            Time::ZERO,
+            r.q0,
+            &mut r.fab,
+            &mut r.mem,
+            &mut TxOutcome::default(),
+        );
         assert!(r.fab.downstream_bytes(r.pfs[0]) > before0, "frag 0 via PF0");
         assert!(r.fab.downstream_bytes(r.pfs[1]) > before1, "frag 1 via PF1");
     }
@@ -1251,9 +1291,15 @@ mod tests {
             .is_none());
         r.nic.rearm_irq(bogus);
         assert!(!r.nic.irq_armed(bogus));
-        let out = r
-            .nic
-            .tx_doorbell(Time::ZERO, Time::ZERO, bogus, &mut r.fab, &mut r.mem);
+        let mut out = TxOutcome::default();
+        r.nic.tx_doorbell(
+            Time::ZERO,
+            Time::ZERO,
+            bogus,
+            &mut r.fab,
+            &mut r.mem,
+            &mut out,
+        );
         assert!(out.packets.is_empty() && out.completions.is_empty());
         assert_eq!(r.nic.counters().invalid_refs, 8);
     }
@@ -1288,12 +1334,14 @@ mod tests {
         r.nic
             .post_tx(r.q0, TxDesc::simple(payload, 1448, flow(), false))
             .unwrap();
-        let out = r.nic.tx_doorbell(
+        let mut out = TxOutcome::default();
+        r.nic.tx_doorbell(
             Time::from_us(1),
             Time::from_us(1),
             r.q0,
             &mut r.fab,
             &mut r.mem,
+            &mut out,
         );
         assert!(out.packets.is_empty(), "dead PF sends nothing");
         assert_eq!(out.errors, 1);
@@ -1531,7 +1579,7 @@ mod tests {
     fn malformed_tx_desc_panics() {
         let mut r = rig(SteeringMode::MacBased);
         let desc = TxDesc {
-            fragments: vec![],
+            fragments: crate::desc::FragList::default(),
             flow: flow(),
             len: 10,
             tso: false,

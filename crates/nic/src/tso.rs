@@ -19,16 +19,45 @@ pub const TSO_MAX_BYTES: u64 = 64 * 1024;
 /// assert_eq!(segment(0, 1448), Vec::<u64>::new());
 /// ```
 pub fn segment(len: u64, mss: u64) -> Vec<u64> {
-    assert!(mss > 0, "MSS must be positive");
-    let mut out = Vec::with_capacity(len.div_ceil(mss.max(1)) as usize);
-    let mut left = len;
-    while left > 0 {
-        let take = left.min(mss);
-        out.push(take);
-        left -= take;
-    }
-    out
+    segments(len, mss).collect()
 }
+
+/// Streaming form of [`segment`]: yields the same sizes in the same order
+/// without allocating, for the device's per-descriptor hot path.
+///
+/// # Panics
+/// Panics if `mss` is zero.
+pub fn segments(len: u64, mss: u64) -> Segments {
+    assert!(mss > 0, "MSS must be positive");
+    Segments { left: len, mss }
+}
+
+/// Iterator over TSO wire-packet payload sizes (see [`segments`]).
+#[derive(Debug, Clone)]
+pub struct Segments {
+    left: u64,
+    mss: u64,
+}
+
+impl Iterator for Segments {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.left == 0 {
+            return None;
+        }
+        let take = self.left.min(self.mss);
+        self.left -= take;
+        Some(take)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.left.div_ceil(self.mss) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Segments {}
 
 /// Number of wire packets a payload becomes.
 pub fn segment_count(len: u64, mss: u64) -> u64 {

@@ -1,0 +1,93 @@
+//! A counting global allocator for allocation-budget enforcement.
+//!
+//! The event hot path is designed to be allocation-free in steady state:
+//! out-buffers, dispatch batches, and TX scratch outcomes are long-lived and
+//! recycled, so dispatching an event performs no heap allocation once
+//! capacities have warmed up. [`CountingAlloc`] makes that claim measurable —
+//! harnesses install it as their `#[global_allocator]` and read
+//! [`allocation_count`] deltas around a workload:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static A: simcore::alloc_count::CountingAlloc = simcore::alloc_count::CountingAlloc;
+//!
+//! let before = simcore::alloc_count::allocation_count();
+//! run_steady_state();
+//! assert_eq!(simcore::alloc_count::allocation_count() - before, 0);
+//! ```
+//!
+//! The counter tallies `alloc`, `alloc_zeroed`, and `realloc` calls (a
+//! growing `Vec` is an allocation even when it reuses no new pointer);
+//! `dealloc` is free. When no harness installs the type, this module is
+//! inert — the counter just never moves.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static TRAP: AtomicBool = AtomicBool::new(false);
+static TRAP_BUDGET: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static IN_TRAP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Arms (or disarms) backtrace printing for the next `budget` allocations —
+/// a diagnostic for allocation-regression failures: rerun the failing
+/// window with the trap armed and the offending call sites print to stderr.
+pub fn trap_allocations(on: bool, budget: u64) {
+    TRAP_BUDGET.store(budget, Ordering::Relaxed);
+    TRAP.store(on, Ordering::Relaxed);
+}
+
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    if TRAP.load(Ordering::Relaxed) {
+        IN_TRAP.with(|g| {
+            // Backtrace capture allocates; the guard keeps it re-entrancy-safe.
+            let budget = TRAP_BUDGET.load(Ordering::Relaxed);
+            if !g.get() && budget > 0 {
+                TRAP_BUDGET.store(budget - 1, Ordering::Relaxed);
+                g.set(true);
+                eprintln!(
+                    "[alloc_count trap]\n{}",
+                    std::backtrace::Backtrace::force_capture()
+                );
+                g.set(false);
+            }
+        });
+    }
+}
+
+/// Pass-through [`System`] allocator that counts allocation events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+// SAFETY: defers all allocation to `System`; the counter bump has no effect
+// on layout or pointer validity.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocation events since process start (0 unless a harness installed
+/// [`CountingAlloc`] as its global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

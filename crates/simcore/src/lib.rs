@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc_count;
 pub mod audit;
 pub mod campaign;
 pub mod faults;
 pub mod hash;
 pub mod link;
+pub mod outbuf;
 pub mod pool;
 pub mod queue;
 pub mod rng;
@@ -44,6 +46,7 @@ pub use campaign::CampaignConfig;
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use link::BwLink;
+pub use outbuf::OutBuf;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Dur, Time};

@@ -90,6 +90,25 @@ impl BwLink {
         self.latency
     }
 
+    /// [`reserve`](Self::reserve) for an *idle* link with the serialization
+    /// time already known (memoized fast path: skips the bytes→duration
+    /// division). The caller must guarantee that the link is idle at `now`
+    /// and that `xfer == Dur::for_bytes(bytes, self.bytes_per_sec())`; both
+    /// are checked in debug builds, so any stale memo entry trips the test
+    /// suite rather than silently diverging from [`reserve`].
+    pub fn reserve_precomputed(&mut self, now: Time, bytes: u64, xfer: Dur) -> Time {
+        debug_assert!(self.busy_until <= now, "link {} not idle", self.name);
+        debug_assert_eq!(
+            xfer,
+            Dur::for_bytes(bytes, self.bytes_per_sec),
+            "stale memoized serialization time on link {}",
+            self.name
+        );
+        self.busy_until = now + xfer;
+        self.meter.record(now, bytes);
+        self.busy_until + self.latency
+    }
+
     /// The queueing delay a transfer arriving `now` would currently suffer
     /// before its first byte goes out.
     pub fn queue_delay(&self, now: Time) -> Dur {

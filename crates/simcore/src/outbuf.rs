@@ -1,0 +1,108 @@
+//! A long-lived, recycled output buffer for allocation-free hot paths.
+//!
+//! The simulation's event dispatch used to move a freshly allocated
+//! `Vec` of side effects out of every callback. [`OutBuf`] inverts that
+//! convention: the caller owns one buffer for the lifetime of the run and
+//! threads it as `&mut` through every producer, which *appends*. Once the
+//! buffer has grown to the high-water mark of the workload, steady-state
+//! dispatch never touches the heap again.
+//!
+//! Producers must never clear the buffer themselves — appending is what
+//! lets a driver accumulate the side effects of several calls (e.g. a
+//! batch of packet arrivals) and drain them in one pass, in exactly the
+//! order they were produced.
+
+/// A recycled append-only buffer of out-events.
+///
+/// Dereferences to a slice for inspection; [`drain`](OutBuf::drain)
+/// empties it while keeping its capacity for the next round.
+#[derive(Debug, Clone)]
+pub struct OutBuf<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for OutBuf<T> {
+    fn default() -> Self {
+        OutBuf { items: Vec::new() }
+    }
+}
+
+impl<T> OutBuf<T> {
+    /// An empty buffer. Capacity grows on first use and is then retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with room for `n` items before any reallocation.
+    pub fn with_capacity(n: usize) -> Self {
+        OutBuf {
+            items: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one item.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Empties the buffer, yielding items in insertion order. Capacity is
+    /// retained, so a steady-state producer/drain cycle never reallocates.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, T> {
+        self.items.drain(..)
+    }
+
+    /// Discards the contents without yielding them (capacity retained).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Current contents as a slice (also available via deref).
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T> std::ops::Deref for OutBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<'a, T> IntoIterator for &'a OutBuf<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_preserves_order_and_capacity() {
+        let mut b = OutBuf::new();
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        assert_eq!(b.len(), 3);
+        let cap_before = b.items.capacity();
+        let drained: Vec<i32> = b.drain().collect();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert!(b.is_empty());
+        assert_eq!(b.items.capacity(), cap_before);
+    }
+
+    #[test]
+    fn deref_gives_slice_access() {
+        let mut b = OutBuf::with_capacity(2);
+        b.push(10);
+        b.push(20);
+        assert_eq!(b[0], 10);
+        assert_eq!(b.iter().copied().max(), Some(20));
+        b.clear();
+        assert!(b.as_slice().is_empty());
+    }
+}

@@ -317,6 +317,38 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Pops *every* event scheduled for the earliest pending instant into
+    /// `out` (appending, in push-sequence order) and returns that instant.
+    ///
+    /// Equivalent to popping while [`peek_time`](Self::peek_time) equals the
+    /// head time, but the cursor settles once per batch instead of once per
+    /// event: after [`settle`](Self::settle), every entry sharing the head
+    /// time lives contiguously at the front of the cursor's bucket (same
+    /// time ⇒ same slot, and the bucket is sorted by `(time, seq)`), so the
+    /// whole batch drains with no re-scan.
+    pub fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<Time> {
+        if self.is_empty() {
+            return None;
+        }
+        let b = (self.cur_slot & self.mask as u64) as usize;
+        let t = self.buckets[b].front().expect("settled cursor").at;
+        while self.buckets[b].front().is_some_and(|e| e.at == t) {
+            let e = self.buckets[b].pop_front().expect("front checked");
+            self.wheel_len -= 1;
+            self.popped += 1;
+            out.push(e.payload);
+        }
+        // One regression at most per batch: within the batch every pop
+        // shares `t`, so only the first could run behind the previous pop —
+        // exactly what per-event popping would have counted.
+        if self.last_pop.is_some_and(|lp| t < lp) {
+            self.time_regressions += 1;
+        }
+        self.last_pop = Some(t);
+        self.settle();
+        Some(t)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.wheel_len + self.overflow.len()
@@ -701,6 +733,42 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// `pop_batch_into` must drain exactly what repeated `pop` would, in the
+    /// same order, across random scripts (including heavy ties).
+    #[test]
+    fn diff_pop_batch_matches_serial_pops() {
+        let mut r = SimRng::seed(0xba7c4);
+        for round in 0..32 {
+            let mut a = EventQueue::new();
+            let mut b = EventQueue::new();
+            let span = if round % 2 == 0 { 50 } else { 1_000_000 };
+            let n = 1 + r.below(600) as usize;
+            for i in 0..n {
+                let at = Time::from_ps(r.below(span));
+                a.push(at, i);
+                b.push(at, i);
+            }
+            let mut batch = Vec::new();
+            while let Some(t) = a.pop_batch_into(&mut batch) {
+                for &payload in &batch {
+                    assert_eq!(b.pop(), Some((t, payload)), "round {round}");
+                }
+                batch.clear();
+            }
+            assert!(b.is_empty());
+            assert_eq!(a.events_processed(), b.events_processed());
+            assert_eq!(a.time_regressions(), b.time_regressions());
+        }
+    }
+
+    #[test]
+    fn pop_batch_on_empty_queue_is_none() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), None);
+        assert!(batch.is_empty());
     }
 
     #[test]

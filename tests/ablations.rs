@@ -97,6 +97,7 @@ fn ioctosg_keeps_cross_node_fragments_off_the_interconnect() {
         let frag1 = mem.alloc(NodeId(1), 1 << 20);
         mem.reset_counters();
         let mut t = Time::ZERO;
+        let mut out = nic::TxOutcome::default();
         for i in 0..128u64 {
             let desc = TxDesc {
                 fragments: vec![
@@ -110,13 +111,14 @@ fn ioctosg_keeps_cross_node_fragments_off_the_interconnect() {
                         len: 724,
                         pf_hint: hinted.then_some(pfs[1]),
                     },
-                ],
+                ]
+                .into(),
                 flow,
                 len: 1448,
                 tso: false,
             };
             nic.post_tx(q, desc);
-            let out = nic.tx_doorbell(t, t, q, &mut fab, &mut mem);
+            nic.tx_doorbell(t, t, q, &mut fab, &mut mem, &mut out);
             t = out.packets.last().map(|p| p.0).unwrap_or(t) + Dur::from_us(1);
         }
         mem.counters().interconnect_bytes

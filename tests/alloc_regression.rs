@@ -1,0 +1,71 @@
+//! Allocation-regression gate for the event hot path.
+//!
+//! The dispatch loop recycles its out-buffer, batch vector, and TX scratch;
+//! the queue, rings, and socket buffers reach a steady footprint during
+//! warmup. After that, running more simulated time must perform **zero**
+//! heap allocations — this test installs a counting global allocator and
+//! holds the line. If it starts failing, something on the hot path regained
+//! a per-event `Vec`/`Box`.
+//!
+//! Single test in this binary on purpose: the allocator counter is
+//! process-wide, and a lone test keeps the measurement window quiet.
+
+use ioctopus::config::{BuildOpts, Placement};
+use ioctopus::netloop::{make_rx_stream, App, NetLoop};
+use ioctopus::system::build_duplex;
+use simcore::alloc_count::{allocation_count, CountingAlloc};
+use simcore::Time;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_rx_stream_allocates_nothing() {
+    let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+    let app = make_rx_stream(
+        &mut duplex,
+        0,
+        0,
+        kernel::NetdevId(0),
+        16384,
+        512 * 1024,
+        4242,
+    );
+    let mut nl = NetLoop::new(duplex);
+    let i = nl.add_app(App::Rx(app));
+    nl.start_apps(Time::ZERO);
+
+    // Warm every recycled capacity: out-buffers, batch, queue buckets,
+    // ring scratch, socket buffers.
+    nl.run(Time::from_ms(8));
+    let warm_events = nl.events_processed();
+    let warm_consumed = match nl.app(i) {
+        App::Rx(a) => a.consumed,
+        _ => unreachable!(),
+    };
+    assert!(warm_events > 1000, "warmup must exercise the hot path");
+
+    // On failure: re-run with `trap_allocations(true, N)` armed here to get
+    // stderr backtraces for the first N offending call sites.
+    let before = allocation_count();
+    nl.run(Time::from_ms(14));
+    let allocs = allocation_count() - before;
+
+    let events = nl.events_processed() - warm_events;
+    let consumed = match nl.app(i) {
+        App::Rx(a) => a.consumed,
+        _ => unreachable!(),
+    };
+    assert!(
+        consumed > warm_consumed,
+        "measurement window must stream data"
+    );
+    assert!(events > 5_000, "measurement window too small: {events}");
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state dispatch must not allocate: {allocs} allocations over {events} events \
+         ({:.4} allocs/event)",
+        allocs as f64 / events as f64
+    );
+}

@@ -4,9 +4,23 @@
 
 use ioctopus::config::{BuildOpts, Placement};
 use ioctopus::system::build_duplex;
-use kernel::{HostOut, NetdevId, RecvOutcome, SendOutcome};
+use kernel::{Host, HostOut, NetdevId, RecvOutcome, SendOutcome};
 use nic::FlowTuple;
-use simcore::{Dur, FaultKind, Time};
+use simcore::{Dur, FaultKind, OutBuf, Time};
+
+/// Collects one `wire_arrival`'s follow-ups into a `Vec` (test-side
+/// convenience over the out-buffer API).
+fn wire(host: &mut Host, at: Time, flow: FlowTuple, bytes: u64, seq: u64) -> Vec<HostOut> {
+    let mut out = OutBuf::new();
+    host.wire_arrival(at, flow, bytes, seq, &mut out);
+    out.drain().collect()
+}
+
+/// Services `queue`, discarding follow-ups.
+fn irq(host: &mut Host, at: Time, queue: nic::QueueId) {
+    let mut out = OutBuf::new();
+    host.irq(at, queue, &mut out);
+}
 
 #[test]
 fn rx_ring_exhaustion_drops_and_recovers() {
@@ -18,25 +32,25 @@ fn rx_ring_exhaustion_drops_and_recovers() {
     let sock = duplex.server.open_socket(Time::ZERO, th, flow, NetdevId(0));
     // Ring = 1024 posted buffers; send 1500 packets without any NAPI runs
     // (we never dispatch the irq events).
+    let mut out = OutBuf::new();
     for seq in 0..1500u64 {
-        let _ = duplex
+        out.clear();
+        duplex
             .server
-            .wire_arrival(Time::from_us(seq), flow, 1448, seq);
+            .wire_arrival(Time::from_us(seq), flow, 1448, seq, &mut out);
     }
     let dropped = duplex.server.nic.rx_dropped();
     assert!(dropped >= 1500 - 1024, "ring exhausted: {dropped} drops");
     // Now service the queue and consume: the survivors arrive intact.
     let q = nic::QueueId(14);
-    duplex.server.irq(Time::from_ms(2), q);
+    irq(&mut duplex.server, Time::from_ms(2), q);
     match duplex.server.recv(Time::from_ms(3), sock, u64::MAX) {
         RecvOutcome::Data { bytes, .. } => assert!(bytes > 0),
         RecvOutcome::WouldBlock => panic!("survivors must be deliverable"),
     }
     // And the pipeline is healthy again: new packets are not dropped.
     let before = duplex.server.nic.rx_dropped();
-    let outs = duplex
-        .server
-        .wire_arrival(Time::from_ms(4), flow, 1448, 9999);
+    let outs = wire(&mut duplex.server, Time::from_ms(4), flow, 1448, 9999);
     assert!(!outs.is_empty() || duplex.server.nic.rx_dropped() == before);
 }
 
@@ -49,9 +63,11 @@ fn tx_ring_full_blocks_instead_of_dropping() {
     // Fill the sndbuf without ever reaping completions.
     let mut blocked = false;
     let mut t = Time::ZERO;
+    let mut out = OutBuf::new();
     for _ in 0..600 {
-        match duplex.server.send(t, sock, 64 * 1024) {
-            SendOutcome::Sent { done_at, .. } => t = done_at,
+        out.clear();
+        match duplex.server.send(t, sock, 64 * 1024, &mut out) {
+            SendOutcome::Sent { done_at } => t = done_at,
             SendOutcome::WouldBlock => {
                 blocked = true;
                 break;
@@ -69,9 +85,7 @@ fn unknown_flows_are_counted_not_panicked() {
     let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
     for seq in 0..50u64 {
         let bogus = FlowTuple::udp(1, seq as u16 + 1, 2, 2);
-        let outs = duplex
-            .server
-            .wire_arrival(Time::from_us(seq), bogus, 64, seq);
+        let outs = wire(&mut duplex.server, Time::from_us(seq), bogus, 64, seq);
         assert!(outs.is_empty());
     }
     assert_eq!(duplex.server.rx_no_socket_drops(), 50);
@@ -87,9 +101,7 @@ fn arfs_rules_expire_when_idle() {
     let removed = duplex.server.nic.arfs_expire(Time::from_ms(900));
     assert!(removed >= 1, "idle rule expired");
     // ...and traffic still flows afterwards via the RSS fallback.
-    let outs = duplex
-        .server
-        .wire_arrival(Time::from_ms(901), flow, 1448, 0);
+    let outs = wire(&mut duplex.server, Time::from_ms(901), flow, 1448, 0);
     assert!(!outs.is_empty(), "RSS fallback still delivers");
 }
 
@@ -106,8 +118,9 @@ fn sendfile_zero_copy_accounting_and_backpressure() {
         })
         .collect();
     let total: u64 = pages.iter().map(|(_, l)| l).sum();
-    let outs = match duplex.server.sendfile(Time::ZERO, sock, &pages) {
-        SendOutcome::Sent { outs, .. } => outs,
+    let mut out = OutBuf::new();
+    let outs: Vec<HostOut> = match duplex.server.sendfile(Time::ZERO, sock, &pages, &mut out) {
+        SendOutcome::Sent { .. } => out.drain().collect(),
         SendOutcome::WouldBlock => panic!("first sendfile fits"),
     };
     assert_eq!(duplex.server.socket(sock).tx_bytes, total);
@@ -123,7 +136,7 @@ fn sendfile_zero_copy_accounting_and_backpressure() {
     // Completions release the inflight accounting.
     for o in &outs {
         if let HostOut::Irq { at, queue } = o {
-            duplex.server.irq(*at + Dur::from_ms(1), *queue);
+            irq(&mut duplex.server, *at + Dur::from_ms(1), *queue);
         }
     }
     assert_eq!(duplex.server.socket(sock).tx_inflight, 0);
@@ -131,8 +144,9 @@ fn sendfile_zero_copy_accounting_and_backpressure() {
     let mut blocked = false;
     let mut t = Time::from_ms(2);
     for _ in 0..200 {
-        match duplex.server.sendfile(t, sock, &pages) {
-            SendOutcome::Sent { done_at, .. } => t = done_at,
+        out.clear();
+        match duplex.server.sendfile(t, sock, &pages, &mut out) {
+            SendOutcome::Sent { done_at } => t = done_at,
             SendOutcome::WouldBlock => {
                 blocked = true;
                 break;
@@ -151,11 +165,11 @@ fn pf_failure_mid_stream_keeps_delivering() {
     let flow = FlowTuple::tcp(0x0A00_0001, 904, 0x0A00_0002, 80);
     let sock = duplex.server.open_socket(Time::ZERO, th, flow, NetdevId(0));
     // One healthy packet, then PF0 dies, then the stream keeps coming.
-    let outs = duplex.server.wire_arrival(Time::from_us(10), flow, 1448, 0);
+    let outs = wire(&mut duplex.server, Time::from_us(10), flow, 1448, 0);
     assert!(!outs.is_empty(), "healthy path delivers");
     for o in &outs {
         if let HostOut::Irq { at, queue } = o {
-            duplex.server.irq(*at, *queue);
+            irq(&mut duplex.server, *at, *queue);
         }
     }
     let pf0 = duplex.server_pfs[0];
@@ -167,19 +181,23 @@ fn pf_failure_mid_stream_keeps_delivering() {
         "firmware moved the flow to the survivor"
     );
     for seq in 1..20u64 {
-        let outs = duplex
-            .server
-            .wire_arrival(Time::from_us(50 + seq * 10), flow, 1448, seq);
+        let outs = wire(
+            &mut duplex.server,
+            Time::from_us(50 + seq * 10),
+            flow,
+            1448,
+            seq,
+        );
         for o in &outs {
             if let HostOut::Irq { at, queue } = o {
-                duplex.server.irq(*at, *queue);
+                irq(&mut duplex.server, *at, *queue);
             }
         }
     }
     // Sweep every queue (the survivor's queue index is a firmware detail)
     // and drain the socket: all 20 packets arrived.
     for qi in 0..duplex.server.nic.queue_count() {
-        duplex.server.irq(Time::from_ms(1), nic::QueueId(qi));
+        irq(&mut duplex.server, Time::from_ms(1), nic::QueueId(qi));
     }
     match duplex.server.recv(Time::from_ms(2), sock, u64::MAX) {
         RecvOutcome::Data { bytes, .. } => {
@@ -208,11 +226,11 @@ fn link_degrade_slows_dma_but_loses_nothing() {
             .expect("arrival raises an interrupt")
     };
     let t1 = Time::from_us(10);
-    let outs = duplex.server.wire_arrival(t1, flow, 1448, 0);
+    let outs = wire(&mut duplex.server, t1, flow, 1448, 0);
     let healthy = irq_delta(&outs, t1);
     for o in &outs {
         if let HostOut::Irq { at, queue } = o {
-            duplex.server.irq(*at, *queue);
+            irq(&mut duplex.server, *at, *queue);
         }
     }
     // Gen3 x4 ≈ 1/8th of the healthy link; retraining stalls 20 us, long
@@ -224,11 +242,11 @@ fn link_degrade_slows_dma_but_loses_nothing() {
         FaultKind::LinkDegrade { lanes: 4, gen: 3 },
     );
     let t2 = Time::from_us(500);
-    let outs = duplex.server.wire_arrival(t2, flow, 1448, 1);
+    let outs = wire(&mut duplex.server, t2, flow, 1448, 1);
     let degraded = irq_delta(&outs, t2);
     for o in &outs {
         if let HostOut::Irq { at, queue } = o {
-            duplex.server.irq(*at, *queue);
+            irq(&mut duplex.server, *at, *queue);
         }
     }
     assert!(
@@ -253,7 +271,7 @@ fn lost_interrupt_recovers_via_watchdog() {
     duplex
         .server
         .apply_fault(Time::from_us(5), pf0, FaultKind::IrqLoss);
-    let outs = duplex.server.wire_arrival(Time::from_us(10), flow, 1448, 0);
+    let outs = wire(&mut duplex.server, Time::from_us(10), flow, 1448, 0);
     assert!(
         !outs.iter().any(|o| matches!(o, HostOut::Irq { .. })),
         "the MSI-X was swallowed"
@@ -266,11 +284,13 @@ fn lost_interrupt_recovers_via_watchdog() {
     ));
     // The watchdog (timeout 100 us) fires well past the landing and
     // synthesizes the missed interrupt.
-    let outs = duplex.server.watchdog(Time::from_us(250));
+    let mut out = OutBuf::new();
+    duplex.server.watchdog(Time::from_us(250), &mut out);
+    let outs: Vec<HostOut> = out.drain().collect();
     let mut polled = false;
     for o in &outs {
         if let HostOut::Irq { at, queue } = o {
-            duplex.server.irq(*at, *queue);
+            irq(&mut duplex.server, *at, *queue);
             polled = true;
         }
     }
