@@ -482,6 +482,7 @@ impl NetLoop {
                             duplex.server.nic.tx_bytes(pf),
                         )
                     })
+                    // simlint: allow(hot-path-alloc) — opt-in sampling diagnostic (sample_every); never on the steady-state dispatch path the zero-alloc gate covers
                     .collect();
                 self.samples.push((now, snap));
                 if let Some(every) = self.sample_every {

@@ -64,25 +64,35 @@ fn count_one() {
 pub struct CountingAlloc;
 
 // SAFETY: defers all allocation to `System`; the counter bump has no effect
-// on layout or pointer validity.
+// on layout or pointer validity, and `count_one` never re-enters the
+// allocator unguarded (the trap path's thread-local gate breaks recursion).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_one();
-        System.alloc(layout)
+        // SAFETY: `layout` is the caller's, forwarded unmodified; our caller
+        // upholds `GlobalAlloc::alloc`'s contract (non-zero size).
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count_one();
-        System.alloc_zeroed(layout)
+        // SAFETY: as in `alloc` — the caller's layout contract passes through.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_one();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout` came from this allocator, which is a pure
+        // pass-through to `System`, so they satisfy `System.realloc`'s
+        // currently-allocated-with-this-layout requirement; `new_size` is
+        // forwarded under the caller's contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was produced by the pass-through `alloc` family above
+        // with this same `layout`, per the caller's `dealloc` contract.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

@@ -17,6 +17,16 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 /// Picoseconds per second.
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
+/// The single sanctioned picosecond→float boundary, used by the `as_*`
+/// display/statistics conversions and fractional scaling. `f64` is exact
+/// below 2⁵³ ps (~2.5 simulated hours); experiment horizons are tens of
+/// milliseconds, far inside that. All event-ordering arithmetic stays in
+/// integer ps and never passes through here.
+fn ps_to_f64(ps: u64) -> f64 {
+    // simlint: allow(lossy-time-cast) — sole sanctioned ps→f64 boundary; exact below 2^53 ps, horizons are ms
+    ps as f64
+}
+
 /// An absolute instant of simulated time, in picoseconds since simulation start.
 ///
 /// `Time` is ordered and copyable; subtracting two `Time`s yields a [`Dur`].
@@ -73,22 +83,22 @@ impl Time {
 
     /// Time as fractional nanoseconds.
     pub fn as_ns(self) -> f64 {
-        self.0 as f64 / PS_PER_NS as f64
+        ps_to_f64(self.0) / PS_PER_NS as f64
     }
 
     /// Time as fractional microseconds.
     pub fn as_us(self) -> f64 {
-        self.0 as f64 / PS_PER_US as f64
+        ps_to_f64(self.0) / PS_PER_US as f64
     }
 
     /// Time as fractional milliseconds.
     pub fn as_ms(self) -> f64 {
-        self.0 as f64 / PS_PER_MS as f64
+        ps_to_f64(self.0) / PS_PER_MS as f64
     }
 
     /// Time as fractional seconds.
     pub fn as_secs(self) -> f64 {
-        self.0 as f64 / PS_PER_SEC as f64
+        ps_to_f64(self.0) / PS_PER_SEC as f64
     }
 
     /// The later of two instants.
@@ -152,22 +162,22 @@ impl Dur {
 
     /// Duration as fractional nanoseconds.
     pub fn as_ns(self) -> f64 {
-        self.0 as f64 / PS_PER_NS as f64
+        ps_to_f64(self.0) / PS_PER_NS as f64
     }
 
     /// Duration as fractional microseconds.
     pub fn as_us(self) -> f64 {
-        self.0 as f64 / PS_PER_US as f64
+        ps_to_f64(self.0) / PS_PER_US as f64
     }
 
     /// Duration as fractional milliseconds.
     pub fn as_ms(self) -> f64 {
-        self.0 as f64 / PS_PER_MS as f64
+        ps_to_f64(self.0) / PS_PER_MS as f64
     }
 
     /// Duration as fractional seconds.
     pub fn as_secs(self) -> f64 {
-        self.0 as f64 / PS_PER_SEC as f64
+        ps_to_f64(self.0) / PS_PER_SEC as f64
     }
 
     /// The longer of two durations.
@@ -268,7 +278,7 @@ impl Mul<f64> for Dur {
     type Output = Dur;
     fn mul(self, rhs: f64) -> Dur {
         assert!(rhs >= 0.0, "duration scale must be non-negative");
-        Dur((self.0 as f64 * rhs).round() as u64)
+        Dur((ps_to_f64(self.0) * rhs).round() as u64)
     }
 }
 

@@ -1,0 +1,332 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! `syn` is not vendorable in this offline workspace, so the lint pass works
+//! on a token stream produced here. The lexer understands everything that
+//! matters for *not mis-lexing*: line/nested-block comments, string and raw
+//! string literals (with `#` fences and `b`/`r`/`br` prefixes), char
+//! literals vs. lifetimes, raw identifiers, and numeric literals with
+//! exponents — so rule matchers never fire on text inside a string or
+//! comment, and every token carries the 1-based line it starts on.
+
+/// Kinds of tokens the rule matchers distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Numeric literal (`0`, `1.5e-3`, `0xff_u64`).
+    Number,
+    /// String, raw string, byte string, or char literal (text not retained).
+    Literal,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// Line or block comment, full text retained (pragmas live here).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text: the identifier, the punct char, the comment body
+    /// (including delimiters), the number; empty for string/char literals.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32) -> Self {
+        Tok {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+/// Lexes Rust source into a flat token stream. Never fails: unterminated
+/// constructs are closed at end-of-file (good enough for linting — rustc
+/// rejects such files anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok::new(
+                    TokKind::Comment,
+                    b[start..i].iter().collect::<String>(),
+                    line,
+                ));
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok::new(
+                    TokKind::Comment,
+                    b[start..i].iter().collect::<String>(),
+                    start_line,
+                ));
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok::new(TokKind::Literal, "", start_line));
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`, `'\n'`).
+                let is_lifetime = i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') && {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    !(j < n && b[j] == '\'')
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    // Lifetimes carry no lint signal; drop them.
+                } else {
+                    let start_line = line;
+                    i += 1;
+                    while i < n {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok::new(TokKind::Literal, "", start_line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    // Exponent sign: `1e-3`, `2.5E+7`.
+                    if (b[i] == 'e' || b[i] == 'E')
+                        && i + 1 < n
+                        && (b[i + 1] == '+' || b[i + 1] == '-')
+                        && !b[start..i]
+                            .iter()
+                            .any(|&x| x == 'x' || x == 'b' || x == 'o')
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                }
+                // Fraction: a dot followed by a digit (not `.iter()`, not `..`).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        if (b[i] == 'e' || b[i] == 'E')
+                            && i + 1 < n
+                            && (b[i + 1] == '+' || b[i + 1] == '-')
+                        {
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok::new(
+                    TokKind::Number,
+                    b[start..i].iter().collect::<String>(),
+                    line,
+                ));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // String prefixes: r"...", r#"..."#, b"...", br#"..."#, b'x'.
+                let next = if i < n { b[i] } else { '\0' };
+                let is_raw_capable = ident == "r" || ident == "br";
+                let is_bytestr = ident == "b" || ident == "br";
+                if is_raw_capable && (next == '"' || next == '#') {
+                    if next == '#' && i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                        // Raw identifier r#type.
+                        let s = i + 1;
+                        i += 1;
+                        while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                            i += 1;
+                        }
+                        toks.push(Tok::new(
+                            TokKind::Ident,
+                            b[s..i].iter().collect::<String>(),
+                            line,
+                        ));
+                    } else {
+                        // Raw string: count fences, scan to `"` + fences.
+                        let start_line = line;
+                        let mut fences = 0;
+                        while i < n && b[i] == '#' {
+                            fences += 1;
+                            i += 1;
+                        }
+                        if i < n && b[i] == '"' {
+                            i += 1;
+                            'scan: while i < n {
+                                if b[i] == '"' {
+                                    let mut j = i + 1;
+                                    let mut seen = 0;
+                                    while j < n && b[j] == '#' && seen < fences {
+                                        seen += 1;
+                                        j += 1;
+                                    }
+                                    if seen == fences {
+                                        line += count_lines(&b[start..j]);
+                                        i = j;
+                                        break 'scan;
+                                    }
+                                }
+                                i += 1;
+                            }
+                        }
+                        toks.push(Tok::new(TokKind::Literal, "", start_line));
+                    }
+                } else if is_bytestr && (next == '"' || next == '\'') {
+                    // Byte string / byte char: re-lex from the quote.
+                    toks.push(Tok::new(TokKind::Literal, "", line));
+                    let quote = next;
+                    i += 1;
+                    while i < n {
+                        match b[i] {
+                            '\\' => i += 2,
+                            c if c == quote => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    toks.push(Tok::new(TokKind::Ident, ident, line));
+                }
+            }
+            _ => {
+                toks.push(Tok::new(TokKind::Punct, c, line));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let a = "HashMap::new() inside a string";
+            // HashMap::new() inside a comment
+            /* nested /* HashMap::new() */ still comment */
+            let b = r#"raw "fenced" HashMap::new()"#;
+            let c = 'h'; let lt: &'static str = "x";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "leaked from literal");
+        assert!(!ids.contains(&"static".to_string()), "lifetime idents drop");
+        assert!(ids.contains(&"str".to_string()), "type path kept");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;\n";
+        let toks = lex(src);
+        let b_tok = toks.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_tuple_fields() {
+        // `x.0` must lex as ident, punct, number — not swallow into a float.
+        let toks = lex("self.0 as f64; 1.5e-3; 0xff_u64");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"self"));
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"1.5e-3"));
+        assert!(texts.contains(&"0xff_u64"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#type = 3;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime_disambiguation() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2, "two char literals, zero from lifetimes");
+    }
+}

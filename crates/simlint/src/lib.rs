@@ -1,0 +1,153 @@
+//! `simlint` — the workspace determinism & hot-path lint pass.
+//!
+//! The reproduction's core claim is bit-identical determinism: figure
+//! checksums, serial-vs-parallel sweep identity (DESIGN.md §6.1), and the
+//! zero-allocation steady state (§6.2) are enforced *dynamically*, so a
+//! stray default-hasher map or a wall-clock call only surfaces as a flaky
+//! checksum long after merge. This crate turns those conventions into a
+//! machine-checked contract that runs in the lint wall on every PR: a
+//! dependency-free lexical analysis over every `.rs` file in the workspace,
+//! enforcing the rule catalogue in [`rules`] (described for humans in
+//! DESIGN.md §11).
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p simlint -- --workspace
+//! cargo run -p simlint -- --workspace --audit-suppressions   # CI mode
+//! ```
+//!
+//! Violations can be suppressed inline — with a mandatory reason:
+//!
+//! ```text
+//! // simlint: allow(wallclock) — worker count only affects wall time, not results
+//! ```
+//!
+//! Reasonless pragmas do not suppress (the finding stays active and the
+//! pragma itself violates `pragma-hygiene`); `--audit-suppressions`
+//! additionally fails on pragmas that no longer suppress anything.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use report::Report;
+use rules::RuleId;
+use std::path::{Path, PathBuf};
+
+/// Lint options.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Fail on pragmas that suppress nothing (CI drift detection).
+    pub audit_suppressions: bool,
+    /// Restrict to these rules (empty = all).
+    pub only: Vec<RuleId>,
+}
+
+/// Directories (workspace-relative) whose `.rs` files are scanned.
+const SCAN_ROOTS: [&str; 3] = ["src", "tests", "examples"];
+
+/// Subtrees never scanned: build output and the lint pass's own seeded
+/// rule-violation fixtures.
+fn is_excluded(rel: &str) -> bool {
+    rel.starts_with("target/") || rel.starts_with("crates/simlint/tests/fixtures/")
+}
+
+fn walk(dir: &Path, acc: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, acc);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            acc.push(p);
+        }
+    }
+}
+
+/// Every `.rs` file the pass covers, sorted, workspace-relative.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        walk(&root.join(sub), &mut files);
+    }
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut crates: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for c in crates {
+            for sub in ["src", "tests", "benches"] {
+                walk(&c.join(sub), &mut files);
+            }
+        }
+    }
+    files
+        .into_iter()
+        .filter(|p| {
+            let rel = rel_path(root, p);
+            !is_excluded(&rel)
+        })
+        .collect()
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints the whole workspace under `root`.
+pub fn lint_workspace(root: &Path, opts: &Options) -> Report {
+    let mut rep = Report::default();
+    for path in workspace_files(root) {
+        let rel = rel_path(root, &path);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        collect(&rel, &src, opts, &mut rep);
+        rep.files_scanned += 1;
+    }
+    finish(opts, &mut rep);
+    rep
+}
+
+/// Lints a single in-memory source with a virtual workspace-relative path
+/// (the path drives crate scoping) — the entry point fixture tests use.
+pub fn lint_source(rel: &str, src: &str, opts: &Options) -> Report {
+    let mut rep = Report::default();
+    collect(rel, src, opts, &mut rep);
+    rep.files_scanned = 1;
+    finish(opts, &mut rep);
+    rep
+}
+
+fn collect(rel: &str, src: &str, opts: &Options, rep: &mut Report) {
+    let mut fs = scan::scan_source(rel, src);
+    if !opts.only.is_empty() {
+        fs.findings.retain(|f| opts.only.contains(&f.rule));
+        fs.suppressed.retain(|f| opts.only.contains(&f.rule));
+    }
+    rep.findings.append(&mut fs.findings);
+    rep.suppressed.append(&mut fs.suppressed);
+    rep.pragmas.append(&mut fs.pragmas);
+}
+
+fn finish(opts: &Options, rep: &mut Report) {
+    rep.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    rep.suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    if opts.audit_suppressions {
+        rep.unused_pragmas = rep
+            .pragmas
+            .iter()
+            .filter(|p| !p.used && p.reason.is_some())
+            .cloned()
+            .collect();
+    }
+}

@@ -1,0 +1,89 @@
+//! The determinism & hot-path rule catalogue.
+//!
+//! Each rule turns one of the workspace's *dynamic* contracts (bit-identical
+//! figure checksums, serial-vs-parallel sweep identity, the zero-allocation
+//! steady state) into a *static*, per-PR machine check. DESIGN.md §11 is the
+//! prose companion: rationale, failure mode each rule prevents, and the
+//! pragma escape hatch.
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// R1: no default-`RandomState` hash collections in sim crates.
+    DefaultHasher,
+    /// R2: no wall-clock / environment nondeterminism outside `crates/bench`.
+    Wallclock,
+    /// R3: no hash-order iteration inside event-scheduling functions.
+    UnorderedIteration,
+    /// R4: no lossy `as` casts on picosecond `u64` time values.
+    LossyTimeCast,
+    /// R5: no allocating constructs in zero-alloc hot-path functions.
+    HotPathAlloc,
+    /// R6: suppression pragmas must name a known rule and carry a reason.
+    PragmaHygiene,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [RuleId; 6] = [
+    RuleId::DefaultHasher,
+    RuleId::Wallclock,
+    RuleId::UnorderedIteration,
+    RuleId::LossyTimeCast,
+    RuleId::HotPathAlloc,
+    RuleId::PragmaHygiene,
+];
+
+impl RuleId {
+    /// Short stable id (`R1`..`R6`).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::DefaultHasher => "R1",
+            RuleId::Wallclock => "R2",
+            RuleId::UnorderedIteration => "R3",
+            RuleId::LossyTimeCast => "R4",
+            RuleId::HotPathAlloc => "R5",
+            RuleId::PragmaHygiene => "R6",
+        }
+    }
+
+    /// The slug used in pragmas: `// simlint: allow(<slug>) — reason`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::DefaultHasher => "default-hasher",
+            RuleId::Wallclock => "wallclock",
+            RuleId::UnorderedIteration => "unordered-iteration",
+            RuleId::LossyTimeCast => "lossy-time-cast",
+            RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::PragmaHygiene => "pragma-hygiene",
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::DefaultHasher => {
+                "default-RandomState HashMap/HashSet in a sim crate; use simcore::hash::{FxHashMap, FxHashSet}"
+            }
+            RuleId::Wallclock => {
+                "wall-clock, sleep, or environment read outside crates/bench; sim crates must be replay-deterministic"
+            }
+            RuleId::UnorderedIteration => {
+                "hash-order iteration in a function that schedules events; route through simcore::hash::sorted_entries/sorted_keys"
+            }
+            RuleId::LossyTimeCast => {
+                "lossy `as` cast on a picosecond u64 value; use the Time/Dur conversion methods"
+            }
+            RuleId::HotPathAlloc => {
+                "allocating construct in a zero-alloc hot-path function (complements the runtime alloc_count gate)"
+            }
+            RuleId::PragmaHygiene => {
+                "malformed suppression pragma: unknown rule, missing reason, or (in audit mode) unused"
+            }
+        }
+    }
+
+    /// Parses a pragma/CLI slug.
+    pub fn from_slug(s: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.slug() == s)
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: R1 compliant — the sanctioned seed-free Fx wrapper types.
+use simcore::hash::{FxHashMap, FxHashSet};
+
+pub fn flow_table() -> FxHashMap<u64, u64> {
+    let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+    m.insert(1, 2);
+    let _s: FxHashSet<u32> = FxHashSet::default();
+    m
+}

@@ -1,0 +1,9 @@
+// Fixture: R1 true positive — default-hasher collections in a sim crate.
+// Scanned with virtual path crates/kernel/src/fixture.rs.
+use std::collections::HashMap;
+
+pub fn flow_table() -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}

@@ -1,0 +1,5 @@
+// Fixture: R1 suppressed — reasoned pragma silences the constructor site.
+pub fn interned() -> std::collections::HashMap<String, u32> {
+    // simlint: allow(default-hasher) — build-time interning table, never iterated during simulation
+    std::collections::HashMap::new()
+}

@@ -1,0 +1,12 @@
+// Fixture: R5 compliant — hot fn reuses long-lived buffers; allocation in a
+// non-hot setup fn is fine.
+impl Fixture {
+    pub fn dispatch(&mut self, ev: Event) {
+        self.outbuf.clear();
+        self.outbuf.push(ev);
+    }
+
+    pub fn setup(&mut self) {
+        self.warm = Vec::with_capacity(64);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: R5 true positive — allocations inside a hot-path function.
+// Scanned with virtual path crates/ioctopus/src/netloop.rs.
+impl Fixture {
+    pub fn dispatch(&mut self, ev: Event) {
+        let scratch = Vec::new();
+        let label = format!("ev {}", ev.kind);
+        let copy = self.batch.clone();
+        drop((scratch, label, copy));
+    }
+}

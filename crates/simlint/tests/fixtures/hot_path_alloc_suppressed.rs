@@ -1,0 +1,8 @@
+// Fixture: R5 suppressed — reasoned pragma on a diagnostic-only allocation.
+impl Fixture {
+    pub fn dispatch(&mut self, ev: Event) {
+        // simlint: allow(hot-path-alloc) — opt-in sampling diagnostic, off the steady-state path
+        let snap = self.counters.to_vec();
+        self.samples.record(ev, snap);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: R4 compliant — widening cast on ps, lossy cast on non-ps value.
+pub fn widen(now_ps: u64) -> u128 {
+    now_ps as u128
+}
+
+pub fn ratio(count: u64) -> f64 {
+    count as f64
+}

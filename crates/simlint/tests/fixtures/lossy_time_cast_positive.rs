@@ -1,0 +1,8 @@
+// Fixture: R4 true positive — lossy `as` casts on picosecond-named values.
+pub fn truncate(now_ps: u64) -> u32 {
+    now_ps as u32
+}
+
+pub fn to_float(ps: u64) -> f64 {
+    ps as f64
+}

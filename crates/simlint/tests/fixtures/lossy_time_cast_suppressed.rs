@@ -1,0 +1,5 @@
+// Fixture: R4 suppressed — reasoned pragma at the sanctioned boundary.
+pub fn ps_to_f64(ps: u64) -> f64 {
+    // simlint: allow(lossy-time-cast) — sanctioned boundary; exact below 2^53 ps
+    ps as f64
+}

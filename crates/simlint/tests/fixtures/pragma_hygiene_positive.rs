@@ -1,0 +1,8 @@
+// Fixture: R6 true positive — a reasonless pragma (which therefore does NOT
+// suppress the wallclock finding beneath it) and an unknown rule slug.
+pub fn measure() -> u64 {
+    // simlint: allow(wallclock)
+    let _t = std::time::SystemTime::now();
+    // simlint: allow(made-up-rule) — the slug does not exist
+    0
+}

@@ -1,0 +1,15 @@
+// Fixture: R3 compliant — same shape, routed through the sorted helper.
+use simcore::hash::{sorted_entries, FxHashMap};
+
+pub struct Fixture {
+    flows: FxHashMap<u64, u64>,
+    q: Queue,
+}
+
+impl Fixture {
+    pub fn dispatch(&mut self, now: u64) {
+        for (id, bytes) in sorted_entries(&self.flows) {
+            self.q.push(now, *id + *bytes);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: R3 true positive — hash-order iteration inside a scheduling fn.
+// Scanned with virtual path crates/ioctopus/src/fixture.rs.
+use simcore::hash::FxHashMap;
+
+pub struct Fixture {
+    flows: FxHashMap<u64, u64>,
+    q: Queue,
+}
+
+impl Fixture {
+    pub fn dispatch(&mut self, now: u64) {
+        for (id, bytes) in &self.flows {
+            self.q.push(now, *id + *bytes);
+        }
+        for id in self.flows.keys() {
+            self.q.push(now, *id);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: R3 suppressed — reasoned pragma on the iteration site.
+use simcore::hash::FxHashMap;
+
+pub struct Fixture {
+    flows: FxHashMap<u64, u64>,
+    q: Queue,
+}
+
+impl Fixture {
+    pub fn dispatch(&mut self, now: u64) {
+        // simlint: allow(unordered-iteration) — events land in a calendar queue keyed by (time, seq); map order cannot reorder them
+        for (id, bytes) in &self.flows {
+            self.q.push(now, *id + *bytes);
+        }
+    }
+}

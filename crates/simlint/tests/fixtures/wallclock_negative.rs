@@ -1,0 +1,6 @@
+// Fixture: R2 compliant — virtual time only; no wall-clock reads.
+use simcore::time::{Dur, Time};
+
+pub fn advance(now: Time, step: Dur) -> Time {
+    now + step
+}

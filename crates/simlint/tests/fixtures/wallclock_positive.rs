@@ -1,0 +1,9 @@
+// Fixture: R2 true positive — wall-clock and host-dependent calls in a sim
+// crate. Scanned with virtual path crates/simcore/src/fixture.rs.
+pub fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _threads = std::thread::available_parallelism();
+    let _cfg = std::env::var("SOME_KNOB");
+    start.elapsed()
+}

@@ -1,0 +1,8 @@
+// Fixture: R2 suppressed — reasoned pragma on the env read.
+pub fn worker_count() -> usize {
+    // simlint: allow(wallclock) — operator override; affects wall time only, never simulated results
+    std::env::var("FIXTURE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,284 @@
+//! Fixture-driven rule validation: for every rule, a seeded true positive
+//! must fire, a compliant twin must stay silent, and a reasoned pragma must
+//! move the finding to the suppressed list (hygiene findings are
+//! unsuppressible by design, so R6's third fixture is a malformed pragma).
+//!
+//! Fixtures live under `tests/fixtures/` — a directory `lint_workspace`
+//! explicitly excludes, so the seeded violations never pollute a real run.
+//! Each fixture is linted via [`simlint::lint_source`] under a *virtual*
+//! workspace path, which is what drives crate scoping (sim crate vs tool
+//! crate, hot-path file lists).
+
+use simlint::report::Report;
+use simlint::rules::RuleId;
+use simlint::{lint_source, Options};
+
+/// Virtual path placing a fixture inside a simulation crate.
+const SIM_PATH: &str = "crates/simcore/src/fixture.rs";
+/// Virtual path placing a fixture in the event-loop crate (R3 shapes).
+const LOOP_PATH: &str = "crates/ioctopus/src/fixture.rs";
+/// Virtual path aliasing the hot-path file list entry for `NetLoop`.
+const HOT_PATH: &str = "crates/ioctopus/src/netloop.rs";
+
+fn fixture(name: &str) -> String {
+    let p = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn lint(virtual_path: &str, name: &str) -> Report {
+    lint_source(virtual_path, &fixture(name), &Options::default())
+}
+
+fn rules_of(findings: &[simlint::scan::Finding]) -> Vec<RuleId> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[track_caller]
+fn assert_fires(rep: &Report, rule: RuleId, at_least: usize) {
+    let n = rep.findings.iter().filter(|f| f.rule == rule).count();
+    assert!(
+        n >= at_least,
+        "expected >= {at_least} active {rule:?} findings, got {n} in {:?}",
+        rules_of(&rep.findings)
+    );
+}
+
+#[track_caller]
+fn assert_clean(rep: &Report) {
+    assert!(
+        rep.findings.is_empty(),
+        "expected no findings, got {:?}",
+        rep.findings
+            .iter()
+            .map(|f| (f.rule, f.line, f.message.clone()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[track_caller]
+fn assert_suppressed(rep: &Report, rule: RuleId) {
+    assert_clean(rep);
+    assert!(
+        rep.suppressed
+            .iter()
+            .any(|f| f.rule == rule && f.suppressed_reason.is_some()),
+        "expected a suppressed {rule:?} finding with a reason, got {:?}",
+        rules_of(&rep.suppressed)
+    );
+    assert!(
+        rep.pragmas.iter().any(|p| p.used),
+        "the pragma should be marked used"
+    );
+}
+
+// R1 — default-hasher -----------------------------------------------------
+
+#[test]
+fn default_hasher_fires_on_std_collections() {
+    // Import site + constructor site.
+    let rep = lint("crates/kernel/src/fixture.rs", "default_hasher_positive.rs");
+    assert_fires(&rep, RuleId::DefaultHasher, 2);
+}
+
+#[test]
+fn default_hasher_silent_on_fx_wrappers() {
+    assert_clean(&lint(
+        "crates/kernel/src/fixture.rs",
+        "default_hasher_negative.rs",
+    ));
+}
+
+#[test]
+fn default_hasher_pragma_suppresses() {
+    let rep = lint(
+        "crates/kernel/src/fixture.rs",
+        "default_hasher_suppressed.rs",
+    );
+    assert_suppressed(&rep, RuleId::DefaultHasher);
+}
+
+#[test]
+fn default_hasher_exempt_in_tool_crates_and_wrapper() {
+    // The bench crate is allowed wall-clocks and default hashers…
+    assert_clean(&lint(
+        "crates/bench/src/fixture.rs",
+        "default_hasher_positive.rs",
+    ));
+    // …and the Fx wrapper file itself is the sanctioned declaration site.
+    assert_clean(&lint(
+        "crates/simcore/src/hash.rs",
+        "default_hasher_negative.rs",
+    ));
+}
+
+// R2 — wallclock -----------------------------------------------------------
+
+#[test]
+fn wallclock_fires_on_instant_sleep_parallelism_env() {
+    let rep = lint(SIM_PATH, "wallclock_positive.rs");
+    assert_fires(&rep, RuleId::Wallclock, 4);
+}
+
+#[test]
+fn wallclock_silent_on_virtual_time() {
+    assert_clean(&lint(SIM_PATH, "wallclock_negative.rs"));
+}
+
+#[test]
+fn wallclock_pragma_suppresses() {
+    assert_suppressed(
+        &lint(SIM_PATH, "wallclock_suppressed.rs"),
+        RuleId::Wallclock,
+    );
+}
+
+#[test]
+fn wallclock_exempt_in_bench_crate() {
+    assert_clean(&lint(
+        "crates/bench/src/fixture.rs",
+        "wallclock_positive.rs",
+    ));
+}
+
+// R3 — unordered-iteration -------------------------------------------------
+
+#[test]
+fn unordered_iteration_fires_in_scheduling_fn() {
+    // `for _ in &self.flows` + `flows.keys()`.
+    let rep = lint(LOOP_PATH, "unordered_iteration_positive.rs");
+    assert_fires(&rep, RuleId::UnorderedIteration, 2);
+}
+
+#[test]
+fn unordered_iteration_silent_via_sorted_helper() {
+    assert_clean(&lint(LOOP_PATH, "unordered_iteration_negative.rs"));
+}
+
+#[test]
+fn unordered_iteration_pragma_suppresses() {
+    assert_suppressed(
+        &lint(LOOP_PATH, "unordered_iteration_suppressed.rs"),
+        RuleId::UnorderedIteration,
+    );
+}
+
+// R4 — lossy-time-cast -----------------------------------------------------
+
+#[test]
+fn lossy_time_cast_fires_on_ps_named_values() {
+    let rep = lint(SIM_PATH, "lossy_time_cast_positive.rs");
+    assert_fires(&rep, RuleId::LossyTimeCast, 2);
+}
+
+#[test]
+fn lossy_time_cast_silent_on_widening_and_non_ps() {
+    assert_clean(&lint(SIM_PATH, "lossy_time_cast_negative.rs"));
+}
+
+#[test]
+fn lossy_time_cast_pragma_suppresses() {
+    assert_suppressed(
+        &lint(SIM_PATH, "lossy_time_cast_suppressed.rs"),
+        RuleId::LossyTimeCast,
+    );
+}
+
+// R5 — hot-path-alloc ------------------------------------------------------
+
+#[test]
+fn hot_path_alloc_fires_in_hot_fn() {
+    // Vec::new + format! + .clone().
+    let rep = lint(HOT_PATH, "hot_path_alloc_positive.rs");
+    assert_fires(&rep, RuleId::HotPathAlloc, 3);
+}
+
+#[test]
+fn hot_path_alloc_silent_on_reuse_and_setup_fns() {
+    assert_clean(&lint(HOT_PATH, "hot_path_alloc_negative.rs"));
+}
+
+#[test]
+fn hot_path_alloc_pragma_suppresses() {
+    assert_suppressed(
+        &lint(HOT_PATH, "hot_path_alloc_suppressed.rs"),
+        RuleId::HotPathAlloc,
+    );
+}
+
+#[test]
+fn hot_path_alloc_scoped_to_listed_files() {
+    // The same allocating dispatch fn in a *non-hot* file is silent.
+    assert_clean(&lint(LOOP_PATH, "hot_path_alloc_positive.rs"));
+}
+
+// R6 — pragma-hygiene ------------------------------------------------------
+
+#[test]
+fn pragma_hygiene_fires_on_reasonless_and_unknown() {
+    let rep = lint(SIM_PATH, "pragma_hygiene_positive.rs");
+    assert_fires(&rep, RuleId::PragmaHygiene, 2);
+    // The reasonless pragma did NOT silence the wallclock finding.
+    assert_fires(&rep, RuleId::Wallclock, 1);
+    assert!(rep.suppressed.is_empty());
+}
+
+#[test]
+fn pragma_hygiene_silent_on_reasoned_used_pragma() {
+    let rep = lint(SIM_PATH, "pragma_hygiene_negative.rs");
+    assert_clean(&rep);
+    assert_eq!(rep.suppressed.len(), 1);
+    assert!(rep.pragmas[0].used);
+}
+
+#[test]
+fn pragma_hygiene_fires_on_malformed_pragma() {
+    let rep = lint(SIM_PATH, "pragma_hygiene_malformed.rs");
+    assert_fires(&rep, RuleId::PragmaHygiene, 1);
+}
+
+// Audit mode and report shape ---------------------------------------------
+
+#[test]
+fn audit_flags_pragmas_that_suppress_nothing() {
+    let src = "// simlint: allow(wallclock) — stale justification\npub fn clean() {}\n";
+    let audit = Options {
+        audit_suppressions: true,
+        ..Options::default()
+    };
+    let rep = lint_source(SIM_PATH, src, &audit);
+    assert_eq!(rep.unused_pragmas.len(), 1);
+    // Without audit mode the stale pragma is tolerated.
+    let rep = lint_source(SIM_PATH, src, &Options::default());
+    assert!(rep.unused_pragmas.is_empty());
+}
+
+#[test]
+fn rule_filter_restricts_findings() {
+    let opts = Options {
+        only: vec![RuleId::Wallclock],
+        ..Options::default()
+    };
+    let rep = lint_source(SIM_PATH, &fixture("lossy_time_cast_positive.rs"), &opts);
+    assert_clean(&rep);
+}
+
+#[test]
+fn json_report_lists_all_rules_and_findings() {
+    let rep = lint(SIM_PATH, "wallclock_positive.rs");
+    let json = rep.to_json();
+    assert!(json.contains("\"schema\": \"simlint-v1\""));
+    // The rule catalogue (>= 5 distinct rules) is always present.
+    for slug in [
+        "default-hasher",
+        "wallclock",
+        "unordered-iteration",
+        "lossy-time-cast",
+        "hot-path-alloc",
+        "pragma-hygiene",
+    ] {
+        assert!(json.contains(&format!("\"slug\":\"{slug}\"")), "{slug}");
+    }
+    assert!(json.contains("\"slug\":\"wallclock\",\"file\":\"crates/simcore/src/fixture.rs\""));
+}
