@@ -44,7 +44,7 @@ fn run(p: Placement) -> (f64, u64) {
                 sent += file.iter().map(|(_, l)| l).sum::<u64>();
                 // Drain completions so sndbuf frees.
                 for o in &outs {
-                    if let kernel::HostOut::Irq { at, queue } = o {
+                    if let kernel::HostOut::Irq { at, queue, .. } = o {
                         irq_outs.clear();
                         duplex.server.irq(*at, *queue, &mut irq_outs);
                     }

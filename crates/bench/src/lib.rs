@@ -24,18 +24,28 @@ pub fn footer(started: Instant) {
     let secs = started.elapsed().as_secs_f64();
     let events = ioctopus::perf::take_events();
     let audits = ioctopus::perf::take_audits();
+    let fenced = ioctopus::perf::take_fenced();
+    let reconfigs = ioctopus::perf::take_reconfigs();
     let checks = if audits > 0 && secs > 0.0 {
         format!(" | {:.1}M checks/s", audits as f64 / 1e6 / secs)
     } else {
         String::new()
     };
+    // Hotplug accounting, shown only by harnesses that reconfigured: every
+    // fenced delivery was counted-and-discarded, never delivered.
+    let hotplug = if reconfigs > 0 || fenced > 0 {
+        format!(" | {reconfigs} reconfigs | {fenced} fenced")
+    } else {
+        String::new()
+    };
     if events > 0 && secs > 0.0 {
         println!(
-            "--------------------- [{:.1}s wall-clock | {:.1}M events | {:.1}M events/s{} | {} workers]\n",
+            "--------------------- [{:.1}s wall-clock | {:.1}M events | {:.1}M events/s{}{} | {} workers]\n",
             secs,
             events as f64 / 1e6,
             events as f64 / 1e6 / secs,
             checks,
+            hotplug,
             simcore::pool::worker_count(usize::MAX),
         );
     } else {

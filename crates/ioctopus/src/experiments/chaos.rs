@@ -102,8 +102,14 @@ pub struct ScheduleReport {
     /// Invariant checks evaluated.
     pub checks: u64,
     /// Recovery actions taken (watchdog IRQ recoveries, doorbell and
-    /// steering-reinstall retries, NVMe command retries).
+    /// steering-reinstall retries, NVMe command retries and IRQ-loss
+    /// watchdog rescues).
     pub recoveries: u64,
+    /// Stale-epoch completions and interrupts fenced — counted and
+    /// discarded, never delivered (hotplug campaigns only).
+    pub fenced: u64,
+    /// Completed quiesce/drain/rebind reconfiguration sequences.
+    pub reconfigs: u64,
     /// Rendered invariant violations; empty means the run survived.
     pub violations: Vec<String>,
 }
@@ -123,6 +129,10 @@ pub struct CampaignReport {
     pub checks: u64,
     /// Total recovery actions observed.
     pub recoveries: u64,
+    /// Total stale-epoch completions/interrupts fenced.
+    pub fenced: u64,
+    /// Total quiesce/drain/rebind reconfigurations completed.
+    pub reconfigs: u64,
     /// Violations across all schedules, prefixed `family[index]:`.
     pub violations: Vec<String>,
 }
@@ -153,8 +163,28 @@ pub fn run_plan(family: Family, index: u64, plan: &FaultPlan) -> ScheduleReport 
 /// pool — returning every per-schedule report. Deterministic in `seed` and
 /// `count`.
 pub fn run_reports(seed: u64, count: u64) -> Vec<ScheduleReport> {
-    let cfg = base_config(seed);
-    sweep::sweep((0..count).collect(), |i| run_schedule(&cfg, i))
+    run_reports_with(&base_config(seed), count)
+}
+
+/// [`run_reports`] for an arbitrary campaign shape.
+pub fn run_reports_with(cfg: &CampaignConfig, count: u64) -> Vec<ScheduleReport> {
+    sweep::sweep((0..count).collect(), |i| run_schedule(cfg, i))
+}
+
+/// The topology-churn campaign shape: [`base_config`] plus the hotplug
+/// kinds, so schedules mix surprise removals and re-enumerations (often
+/// paired) into the existing fault alphabet. The epoch fence, the drain,
+/// and the legacy-NUDMA degraded mode all run under the same invariant
+/// audit as every other campaign.
+pub fn hotplug_config(seed: u64) -> CampaignConfig {
+    let mut cfg = base_config(seed);
+    cfg.hotplug = true;
+    cfg
+}
+
+/// Runs a topology-churn campaign: `count` schedules of [`hotplug_config`].
+pub fn run_hotplug_campaign(seed: u64, count: u64) -> CampaignReport {
+    aggregate(seed, &run_reports_with(&hotplug_config(seed), count))
 }
 
 /// Folds per-schedule reports into a campaign summary.
@@ -166,6 +196,8 @@ pub fn aggregate(seed: u64, reports: &[ScheduleReport]) -> CampaignReport {
         events: 0,
         checks: 0,
         recoveries: 0,
+        fenced: 0,
+        reconfigs: 0,
         violations: Vec::new(),
     };
     for r in reports {
@@ -173,6 +205,8 @@ pub fn aggregate(seed: u64, reports: &[ScheduleReport]) -> CampaignReport {
         out.events += r.events;
         out.checks += r.checks;
         out.recoveries += r.recoveries;
+        out.fenced += r.fenced;
+        out.reconfigs += r.reconfigs;
         for v in &r.violations {
             out.violations
                 .push(format!("{:?}[{}]: {v}", r.family, r.index));
@@ -243,8 +277,11 @@ fn run_netloop(
     nl.run_audit(); // quiesce-point pass even if the periodic tick lapsed
     let robust = nl.duplex.server.robustness();
     let events = nl.events_processed();
+    let fenced = robust.fenced_completions + robust.fenced_irqs;
     crate::perf::note_events(events);
     crate::perf::note_audits(nl.audit.checks());
+    crate::perf::note_fenced(fenced);
+    crate::perf::note_reconfigs(robust.reconfigs);
     ScheduleReport {
         family,
         index,
@@ -255,15 +292,27 @@ fn run_netloop(
             + robust.doorbell_retries
             + robust.steering_reinstalls
             + robust.steering_reinstall_retries,
+        fenced,
+        reconfigs: robust.reconfigs,
         violations: render(&nl.audit),
     }
 }
 
+/// Completion-watchdog timeout of the NVMe harness's host model: a
+/// completion whose interrupt was lost is noticed this much later by the
+/// polling watchdog (mirrors [`kernel::HostConfig::watchdog_timeout`]).
+const NVME_WATCHDOG_TIMEOUT: Dur = Dur::from_us(100);
+
 /// NVMe family: a dual-port drive on the Skylake testbed serving a
 /// synchronous read loop while the plan flaps its links and arms media
 /// errors. `PfFail`/`PfRecover` — NIC notions — are mapped to the
-/// equivalent port-link faults; `IrqLoss` has no drive analogue and is a
-/// no-op, exactly as a NIC-only fault should be for a disk.
+/// equivalent port-link faults. `IrqLoss` arms the same one-shot
+/// lost-interrupt model the NIC uses: the next completion's MSI-X is
+/// swallowed, the host notices it only when the completion watchdog polls,
+/// and the rescue is counted — so campaigns exercise the watchdog path on
+/// this family too instead of silently dropping the fault. Hotplug kinds
+/// fall through to the fabric, which drops in-flight transactions on
+/// removal and charges retrain latency on re-enumeration.
 fn run_nvme(index: u64, plan: &FaultPlan) -> ScheduleReport {
     let mut mem = MemSystem::new(MemConfig::dual_socket_skylake());
     let mut fabric = PcieFabric::new(FabricConfig::default());
@@ -284,6 +333,10 @@ fn run_nvme(index: u64, plan: &FaultPlan) -> ScheduleReport {
     let mut next_ev = 0usize;
     let mut now = Time::ZERO;
     let (mut issued, mut ok, mut errored) = (0u64, 0u64, 0u64);
+    // One-shot lost-interrupt state (the NIC's `inject_irq_loss` analogue):
+    // arming while already armed stays one pending loss.
+    let mut irq_loss_pending = false;
+    let (mut irq_losses_armed, mut watchdog_rescues) = (0u64, 0u64);
     while now < end {
         while next_ev < evs.len() && evs[next_ev].at <= now {
             let e = &evs[next_ev];
@@ -295,7 +348,10 @@ fn run_nvme(index: u64, plan: &FaultPlan) -> ScheduleReport {
                 FaultKind::PfRecover => {
                     fabric.apply_link_fault(e.at, ports[e.pf % 2], FaultKind::LinkRecover);
                 }
-                FaultKind::IrqLoss => {}
+                FaultKind::IrqLoss => {
+                    irq_losses_armed += 1;
+                    irq_loss_pending = true;
+                }
                 k => {
                     fabric.apply_link_fault(e.at, ports[e.pf % 2], k);
                 }
@@ -309,9 +365,18 @@ fn run_nvme(index: u64, plan: &FaultPlan) -> ScheduleReport {
         } else {
             ok += 1;
         }
+        let mut done_at = r.done_at;
+        if irq_loss_pending {
+            // The completion landed but its interrupt was swallowed: the
+            // host observes it one watchdog period late, and the rescue is
+            // charged as a recovery action.
+            irq_loss_pending = false;
+            watchdog_rescues += 1;
+            done_at += NVME_WATCHDOG_TIMEOUT;
+        }
         // A failed command's completion carries only its accumulated retry
         // delays; keep a floor so a hard-down link cannot stall the clock.
-        now = r.done_at.max(now + Dur::from_us(5));
+        now = done_at.max(now + Dur::from_us(5));
     }
 
     let mut audit = Audit::new();
@@ -347,6 +412,17 @@ fn run_nvme(index: u64, plan: &FaultPlan) -> ScheduleReport {
             )
         },
     );
+    audit.check(
+        "nvme",
+        "irq-rescue-accounting",
+        watchdog_rescues <= irq_losses_armed,
+        || {
+            format!(
+                "{watchdog_rescues} watchdog rescues but only \
+                 {irq_losses_armed} interrupt losses were armed"
+            )
+        },
+    );
     crate::perf::note_events(issued);
     crate::perf::note_audits(audit.checks());
     ScheduleReport {
@@ -355,7 +431,9 @@ fn run_nvme(index: u64, plan: &FaultPlan) -> ScheduleReport {
         faults: plan.len(),
         events: issued,
         checks: audit.checks(),
-        recoveries: rb.retries,
+        recoveries: rb.retries + watchdog_rescues,
+        fenced: 0,
+        reconfigs: 0,
         violations: render(&audit),
     }
 }
@@ -415,6 +493,55 @@ pub fn shrink_failing(plan: &FaultPlan) -> FaultPlan {
     shrink(plan, sabotaged_run_trips_audit)
 }
 
+/// Schedule shape for hotplug sabotage hunts: [`sabotage_config`] plus the
+/// hotplug kinds with pairing forced on, so generated schedules reliably
+/// contain complete remove→re-add cycles for the broken rebind path to
+/// leak on.
+pub fn hotplug_sabotage_config(seed: u64) -> CampaignConfig {
+    let mut cfg = sabotage_config(seed);
+    cfg.hotplug = true;
+    cfg.pair_chance = 1.0;
+    cfg
+}
+
+/// Runs `plan` on a server whose hotplug *rebind* path deliberately leaks
+/// one Tx kernel buffer per completed re-enumeration
+/// ([`kernel::Host::debug_break_readd`]) and reports whether the invariant
+/// audit caught it. The leak only fires when the device epoch actually
+/// advanced — which takes a `SurpriseRemove` *followed by* a `Reenumerate`
+/// on the same PF — so the locally minimal reproducer
+/// [`shrink_failing_readd`] converges to is exactly that pair, never a
+/// single event.
+pub fn sabotaged_readd_trips_audit(plan: &FaultPlan) -> bool {
+    let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+    duplex.server.debug_break_readd();
+    let app = App::Rx(make_rx_stream(
+        &mut duplex,
+        0,
+        0,
+        NetdevId(0),
+        16384,
+        32 * 1024,
+        4777,
+    ));
+    let mut nl = NetLoop::new(duplex);
+    nl.add_app(app);
+    nl.install_fault_plan(plan, WATCHDOG_EVERY);
+    nl.start_apps(Time::ZERO);
+    nl.run(Time::ZERO + Dur::from_ms(3));
+    nl.run_audit();
+    crate::perf::note_events(nl.events_processed());
+    crate::perf::note_audits(nl.audit.checks());
+    !nl.audit.ok()
+}
+
+/// Minimizes a schedule that trips [`sabotaged_readd_trips_audit`]. The
+/// expected fixed point is a two-event plan: the remove that bumps the
+/// epoch and the re-add whose rebind leaks.
+pub fn shrink_failing_readd(plan: &FaultPlan) -> FaultPlan {
+    shrink(plan, sabotaged_readd_trips_audit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +588,74 @@ mod tests {
         let r = run_plan(Family::NvmeMedia, 0, &plan);
         assert!(r.recoveries >= 3, "3 injected errors: {}", r.recoveries);
         assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn hotplug_campaign_survives_with_churn_actually_exercised() {
+        let sum = run_hotplug_campaign(0x407_0106, 8);
+        assert!(sum.ok(), "violations: {:?}", sum.violations);
+        assert_eq!(sum.schedules, 8);
+        assert!(sum.checks > 0, "audit must actually run");
+        assert!(
+            sum.reconfigs >= 1,
+            "campaign must contain at least one epoch-advancing hotplug \
+             transition, got {} reconfigs across {} faults",
+            sum.reconfigs,
+            sum.faults
+        );
+    }
+
+    #[test]
+    fn sabotaged_readd_is_caught_and_shrinks_to_the_remove_readd_pair() {
+        // Find a generated schedule containing a complete remove→re-add
+        // cycle early enough to land inside the 3 ms sabotage-run window
+        // (the broken rebind path leaks one Tx buffer per completed
+        // re-enumeration).
+        let cfg = hotplug_sabotage_config(0x05ee_d407);
+        let plan = (0..64)
+            .map(|i| plan_for(&cfg, i))
+            .find(|p| {
+                let evs = p.events();
+                evs.iter().enumerate().any(|(j, e)| {
+                    e.kind == FaultKind::SurpriseRemove
+                        && evs[j + 1..].iter().any(|r| {
+                            r.kind == FaultKind::Reenumerate
+                                && r.pf == e.pf
+                                && r.at < Time::ZERO + Dur::from_ms(3)
+                        })
+                })
+            })
+            .expect("campaign generates paired hotplug schedules");
+        assert!(
+            sabotaged_readd_trips_audit(&plan),
+            "the audit must catch the rebind leak"
+        );
+        let min = shrink_failing_readd(&plan);
+        // The leak needs the epoch to advance, which takes the full pair:
+        // a lone Reenumerate is a no-op and a lone SurpriseRemove never
+        // reaches the broken rebind path. ddmin's 1-minimality therefore
+        // pins the reproducer to exactly two events.
+        assert_eq!(
+            min.len(),
+            2,
+            "minimal reproducer is the remove/re-add pair, got {:?}",
+            min.events()
+        );
+        assert!(
+            min.events()
+                .iter()
+                .any(|e| e.kind == FaultKind::SurpriseRemove),
+            "{:?}",
+            min.events()
+        );
+        assert!(
+            min.events()
+                .iter()
+                .any(|e| e.kind == FaultKind::Reenumerate),
+            "{:?}",
+            min.events()
+        );
+        assert!(sabotaged_readd_trips_audit(&min), "reproducer still fails");
     }
 
     #[test]

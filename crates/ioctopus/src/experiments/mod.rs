@@ -14,6 +14,7 @@
 //! | [`trends`] | Fig. 2 (motivation) |
 //! | [`failover`] | robustness companion to Fig. 14 (fault injection) |
 //! | [`chaos`] | generated fault-schedule campaigns + invariant audit |
+//! | [`reconfig`] | hotplug churn: epoch-fenced IOctopus ⇄ legacy NUDMA |
 //!
 //! Every runner is deterministic for a given configuration and returns a
 //! typed result; the `bench` crate's harnesses print them in the paper's
@@ -28,6 +29,7 @@ pub mod migration;
 pub mod multicore;
 pub mod nvme_fio;
 pub mod pktgen;
+pub mod reconfig;
 pub mod tcp_rr;
 pub mod tcp_stream;
 pub mod trends;

@@ -1,0 +1,193 @@
+//! Hotplug reconfiguration: epoch-fenced transitions between uniform
+//! IOctopus mode and legacy NUDMA mode.
+//!
+//! The failover experiment ([`super::failover`]) kills a *function*
+//! (`PfFail`) and revives it in place; this one removes the *device*:
+//! PF0 is surprise-removed from the PCIe fabric mid-stream (its endpoint
+//! vanishes, in-flight transactions die, the device epoch advances) and
+//! later re-enumerated (slot power-up, link retrain, fresh epoch). The
+//! driver runs each transition as a three-phase quiesce/drain/rebind
+//! sequence behind the epoch fence:
+//!
+//! * **down** — the firmware's MPFS failover resteers PF0's flows to the
+//!   surviving PF at the removal instant; landed-but-unconsumed
+//!   completions from the dead instance are drained and *fenced* (counted,
+//!   resources reclaimed, never delivered); the system degrades to legacy
+//!   NUDMA mode, where every DMA for the node-0 application crosses the
+//!   interconnect via PF1 — degraded but alive;
+//! * **up** — re-enumeration bumps the epoch again, the drain fences any
+//!   stragglers that landed during the outage, the rings rebind, steering
+//!   reinstalls, and the stream returns home to uniform IOctopus mode.
+//!
+//! The emitted timeline and counters quantify the contract: transition
+//! latency at sampling resolution, the degraded-mode throughput ratio,
+//! how much stale work the fence discarded, and that *nothing* stale was
+//! ever delivered (the audit would catch it).
+
+use kernel::NetdevId;
+use simcore::{Dur, FaultKind, FaultPlan, Time};
+
+use crate::config::{BuildOpts, Placement};
+use crate::experiments::pf_rates;
+use crate::netloop::{make_rx_stream, App, NetLoop};
+use crate::results::{PfSample, ReconfigResult};
+use crate::system::build_duplex;
+
+/// Total simulated duration.
+pub const TOTAL: Dur = Dur::from_ms(10);
+/// PF0 is surprise-removed here.
+pub const REMOVE_AT: Dur = Dur::from_ms(3);
+/// PF0 re-enumerates here (plus the fabric's 20 µs retrain stall).
+pub const READD_AT: Dur = Dur::from_ms(6);
+/// Per-PF throughput sampling interval.
+pub const SAMPLE_EVERY: Dur = Dur::from_us(50);
+/// Driver-watchdog cadence while faults are in play.
+pub const WATCHDOG_EVERY: Dur = Dur::from_us(50);
+
+/// A PF "carries the stream" once its sampled rate crosses this floor
+/// (Gb/s); transition latency is measured to the first such sample.
+const CARRY_FLOOR: f64 = 0.1;
+
+/// Runs one full remove → NUDMA → re-add cycle against the Figure 7
+/// receive stream on the octoNIC.
+pub fn run() -> ReconfigResult {
+    let mut duplex = build_duplex(Placement::Octopus, BuildOpts::default());
+    // The workload lives on core 0 (node 0), local to the PF that vanishes.
+    let app = make_rx_stream(&mut duplex, 0, 0, NetdevId(0), 65536, 512 * 1024, 4777);
+    let mut nl = NetLoop::new(duplex);
+    let i = nl.add_app(App::Rx(app));
+    nl.enable_sampling(SAMPLE_EVERY);
+    let mut plan = FaultPlan::new();
+    plan.push(Time::ZERO + REMOVE_AT, 0, FaultKind::SurpriseRemove);
+    plan.push(Time::ZERO + READD_AT, 0, FaultKind::Reenumerate);
+    nl.install_fault_plan(&plan, WATCHDOG_EVERY);
+    nl.start_apps(Time::ZERO);
+    nl.run(Time::ZERO + TOTAL);
+    crate::perf::note_events(nl.events_processed());
+
+    let consumed = match nl.app(i) {
+        App::Rx(a) => a.consumed,
+        _ => unreachable!(),
+    };
+    let samples = pf_rates(&nl.samples);
+    let robust = nl.duplex.server.robustness();
+    let nic = nl.duplex.server.nic.counters();
+    crate::perf::note_fenced(robust.fenced_completions + robust.fenced_irqs);
+    crate::perf::note_reconfigs(robust.reconfigs);
+
+    let remove_ms = REMOVE_AT.as_secs() * 1e3;
+    let readd_ms = READD_AT.as_secs() * 1e3;
+    let healthy = mean_total(&samples, 1.0, remove_ms - 0.1);
+    let degraded = mean_pf1(&samples, remove_ms + 0.3, readd_ms - 0.2);
+    let recovered = mean_total(&samples, readd_ms + 1.0, 9.5);
+    ReconfigResult {
+        config: "octoNIC".to_string(),
+        remove_to_survivor_us: latency_us(&samples, remove_ms, |s| s.pf1_gbps),
+        readd_to_home_us: latency_us(&samples, readd_ms, |s| s.pf0_gbps),
+        degraded_ratio: if healthy > 0.0 {
+            degraded / healthy
+        } else {
+            0.0
+        },
+        recovered_ratio: if healthy > 0.0 {
+            recovered / healthy
+        } else {
+            0.0
+        },
+        samples,
+        fenced_completions: robust.fenced_completions,
+        fenced_irqs: robust.fenced_irqs,
+        reconfigs: robust.reconfigs,
+        nudma_entries: robust.nudma_entries,
+        nudma_exits: robust.nudma_exits,
+        dropped_pf_dead: nic.dropped_pf_dead,
+        resteered_flows: nic.resteered_flows,
+        consumed,
+    }
+}
+
+/// Time (µs past `from_ms`) of the first sample at/after `from_ms` whose
+/// selected PF rate crosses [`CARRY_FLOOR`]; `f64::INFINITY` if none does.
+fn latency_us(samples: &[PfSample], from_ms: f64, rate: impl Fn(&PfSample) -> f64) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.t_secs >= from_ms && rate(s) > CARRY_FLOOR)
+        .map_or(f64::INFINITY, |s| (s.t_secs - from_ms) * 1e3)
+}
+
+/// Mean total (PF0+PF1) throughput over samples with `t` in `[a_ms, b_ms)`.
+fn mean_total(samples: &[PfSample], a_ms: f64, b_ms: f64) -> f64 {
+    mean_by(samples, a_ms, b_ms, |s| s.pf0_gbps + s.pf1_gbps)
+}
+
+/// Mean PF1 throughput over the window (the survivor's share).
+fn mean_pf1(samples: &[PfSample], a_ms: f64, b_ms: f64) -> f64 {
+    mean_by(samples, a_ms, b_ms, |s| s.pf1_gbps)
+}
+
+fn mean_by(samples: &[PfSample], a_ms: f64, b_ms: f64, f: impl Fn(&PfSample) -> f64) -> f64 {
+    let sel: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.t_secs >= a_ms && s.t_secs < b_ms)
+        .map(f)
+        .collect();
+    if sel.is_empty() {
+        return 0.0;
+    }
+    sel.iter().sum::<f64>() / sel.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_degrades_gracefully_and_restores_uniform_mode() {
+        let r = run();
+        // One complete cycle: down into NUDMA, back up to uniform mode,
+        // each transition a fenced reconfiguration.
+        assert_eq!(r.reconfigs, 2, "both transitions completed");
+        assert_eq!(r.nudma_entries, 1);
+        assert_eq!(r.nudma_exits, 1);
+        assert!(r.resteered_flows >= 1, "firmware moved the flow");
+        // Degraded but alive: the survivor carries a useful fraction of
+        // the healthy rate through the outage...
+        assert!(
+            r.degraded_ratio > 0.05,
+            "NUDMA mode stays alive: {:.3}",
+            r.degraded_ratio
+        );
+        // ...and the service is whole again after the re-add.
+        assert!(
+            (r.recovered_ratio - 1.0).abs() < 0.05,
+            "throughput returns within 5%: {:.3}",
+            r.recovered_ratio
+        );
+        // Transitions are fast at sampling resolution.
+        assert!(
+            r.remove_to_survivor_us < 500.0,
+            "failover latency: {} µs",
+            r.remove_to_survivor_us
+        );
+        assert!(
+            r.readd_to_home_us < 1000.0,
+            "restore latency: {} µs",
+            r.readd_to_home_us
+        );
+        assert!(r.consumed > 0);
+    }
+
+    #[test]
+    fn reconfig_is_deterministic() {
+        let a = run();
+        let b = run();
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa.pf0_gbps.to_bits(), sb.pf0_gbps.to_bits());
+            assert_eq!(sa.pf1_gbps.to_bits(), sb.pf1_gbps.to_bits());
+        }
+        assert_eq!(a.fenced_completions, b.fenced_completions);
+        assert_eq!(a.fenced_irqs, b.fenced_irqs);
+        assert_eq!(a.consumed, b.consumed);
+    }
+}

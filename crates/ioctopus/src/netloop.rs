@@ -161,6 +161,91 @@ pub struct NetLoop {
     /// Recycled same-timestamp batch for NAPI-style dispatch (see
     /// [`NetLoop::run`]).
     batch: Vec<Event>,
+    /// Rolling FNV-1a checksum over the dispatched event stream (see
+    /// [`NetLoop::checksum`]).
+    checksum: u64,
+}
+
+/// FNV-1a offset basis: the checksum of an empty event stream.
+const CHECKSUM_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one dispatched event into the rolling stream checksum (FNV-1a over
+/// the dispatch time, the event kind, and every delivery-visible field).
+/// Alloc-free — it runs on the hot dispatch path. Interrupt epoch stamps
+/// are deliberately excluded: a reconfiguration cycle applied to a fully
+/// quiesced system must leave the subsequent event stream bit-identical to
+/// a never-reconfigured run, epochs aside (`tests/reconfig_differential`).
+fn fold_event(h: &mut u64, now: Time, ev: &Event) {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut fold = |v: u64| *h = (*h ^ v).wrapping_mul(PRIME);
+    fold(now.as_ps());
+    match *ev {
+        Event::WireArrival {
+            to,
+            flow,
+            bytes,
+            seq,
+        } => {
+            fold(1);
+            fold(to as u64);
+            fold(u64::from(flow.src_ip) << 32 | u64::from(flow.dst_ip));
+            fold(u64::from(flow.src_port) << 16 | u64::from(flow.dst_port));
+            fold(bytes);
+            fold(seq);
+        }
+        Event::Irq { side, queue, .. } => {
+            fold(2);
+            fold(side as u64);
+            fold(queue.0 as u64);
+        }
+        Event::Wake { side, thread } => {
+            fold(3);
+            fold(side as u64);
+            fold(thread.0 as u64);
+        }
+        Event::Credit { app, bytes } => {
+            fold(4);
+            fold(app as u64);
+            fold(bytes);
+        }
+        Event::Migrate { thread, core } => {
+            fold(5);
+            fold(thread.0 as u64);
+            fold(core as u64);
+        }
+        Event::Sample => fold(6),
+        Event::Fault { pf, kind } => {
+            fold(7);
+            fold(pf as u64);
+            fold(fault_tag(kind));
+        }
+        Event::Watchdog => fold(8),
+        Event::StreamStep { idx } => {
+            fold(9);
+            fold(idx as u64);
+        }
+        Event::PrStep { idx } => {
+            fold(10);
+            fold(idx as u64);
+        }
+        Event::Audit => fold(11),
+    }
+}
+
+/// Stable small integer for each fault kind (checksum input only).
+fn fault_tag(kind: simcore::FaultKind) -> u64 {
+    use simcore::FaultKind::*;
+    match kind {
+        LinkDown => 0,
+        LinkDegrade { lanes, gen } => 100 + u64::from(lanes) * 8 + u64::from(gen),
+        LinkRecover => 1,
+        PfFail => 2,
+        PfRecover => 3,
+        IrqLoss => 4,
+        MediaFault { errors } => 200 + u64::from(errors),
+        SurpriseRemove => 5,
+        Reenumerate => 6,
+    }
 }
 
 impl NetLoop {
@@ -184,7 +269,23 @@ impl NetLoop {
             now: Time::ZERO,
             outbuf: OutBuf::new(),
             batch: Vec::new(),
+            checksum: CHECKSUM_BASIS,
         }
+    }
+
+    /// Rolling checksum of every event dispatched so far. Two loops that
+    /// dispatched the same event stream (times, kinds, delivery-visible
+    /// fields) report the same value; the differential suites compare it
+    /// across batched/unbatched and degrade→restore runs.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Returns the stream checksum and resets it to the empty-stream basis,
+    /// so a later window of the run can be compared in isolation (e.g. the
+    /// post-restore tail of a reconfiguration cycle).
+    pub fn take_checksum(&mut self) -> u64 {
+        std::mem::replace(&mut self.checksum, CHECKSUM_BASIS)
     }
 
     /// Registers an application; returns its index.
@@ -368,6 +469,7 @@ impl NetLoop {
                                 bytes,
                                 seq,
                             } if t2 == to => {
+                                fold_event(&mut self.checksum, at, &batch[k]);
                                 host.wire_arrival(at, flow, bytes, seq, &mut self.outbuf);
                                 k += 1;
                             }
@@ -427,6 +529,7 @@ impl NetLoop {
     }
 
     fn dispatch(&mut self, now: Time, ev: Event) {
+        fold_event(&mut self.checksum, now, &ev);
         match ev {
             Event::WireArrival {
                 to,
@@ -439,8 +542,10 @@ impl NetLoop {
                     .wire_arrival(now, flow, bytes, seq, &mut self.outbuf);
                 self.push_outs(to);
             }
-            Event::Irq { side, queue } => {
-                self.duplex.host_mut(side).irq(now, queue, &mut self.outbuf);
+            Event::Irq { side, queue, epoch } => {
+                self.duplex
+                    .host_mut(side)
+                    .irq_stamped(now, queue, epoch, &mut self.outbuf);
                 self.push_outs(side);
             }
             Event::Wake { side, thread } => match side {
@@ -491,7 +596,12 @@ impl NetLoop {
             }
             Event::Fault { pf, kind } => {
                 let target = self.duplex.server_pfs[pf % self.duplex.server_pfs.len()];
-                self.duplex.server.apply_fault(now, target, kind);
+                self.duplex
+                    .server
+                    .apply_fault(now, target, kind, &mut self.outbuf);
+                // Hotplug drains can wake senders whose fenced buffers were
+                // reclaimed; route those like any other host follow-up.
+                self.push_outs(Side::Server);
             }
             Event::Watchdog => {
                 self.duplex.server.watchdog(now, &mut self.outbuf);

@@ -48,6 +48,44 @@ pub fn take_audits() -> u64 {
     AUDITS.swap(0, Ordering::Relaxed)
 }
 
+static FENCED: AtomicU64 = AtomicU64::new(0);
+static RECONFIGS: AtomicU64 = AtomicU64::new(0);
+
+/// Credits `n` epoch-fenced completions/interrupts (stale deliveries from a
+/// surprise-removed device, counted and discarded). Runners call this once
+/// per simulation from the host's robustness counters.
+pub fn note_fenced(n: u64) {
+    FENCED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total fenced deliveries credited since the process started (or since the
+/// last [`take_fenced`]).
+pub fn fenced() -> u64 {
+    FENCED.load(Ordering::Relaxed)
+}
+
+/// Reads and resets the fenced-delivery counter.
+pub fn take_fenced() -> u64 {
+    FENCED.swap(0, Ordering::Relaxed)
+}
+
+/// Credits `n` completed quiesce/drain/rebind reconfiguration sequences
+/// (hotplug transitions in either direction).
+pub fn note_reconfigs(n: u64) {
+    RECONFIGS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total reconfigurations credited since the process started (or since the
+/// last [`take_reconfigs`]).
+pub fn reconfigs() -> u64 {
+    RECONFIGS.load(Ordering::Relaxed)
+}
+
+/// Reads and resets the reconfiguration counter.
+pub fn take_reconfigs() -> u64 {
+    RECONFIGS.swap(0, Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +108,17 @@ mod tests {
         note_audits(9);
         assert!(audits() >= 9);
         assert!(take_audits() >= 9);
+    }
+
+    #[test]
+    fn reconfig_counters_roundtrip() {
+        let _ = take_fenced();
+        let _ = take_reconfigs();
+        note_fenced(3);
+        note_reconfigs(2);
+        assert!(fenced() >= 3);
+        assert!(reconfigs() >= 2);
+        assert!(take_fenced() >= 3);
+        assert!(take_reconfigs() >= 2);
     }
 }

@@ -79,6 +79,45 @@ pub struct FailoverResult {
     pub consumed: u64,
 }
 
+/// Hotplug-reconfiguration timeline: a surprise removal drops the system
+/// to legacy NUDMA mode, a re-enumeration restores uniform IOctopus mode,
+/// and every transition runs behind the device-epoch fence.
+#[derive(Debug, Clone)]
+pub struct ReconfigResult {
+    /// Configuration label ("octoNIC").
+    pub config: String,
+    /// Per-PF throughput timeline.
+    pub samples: Vec<PfSample>,
+    /// Down-transition latency: removal instant → survivor PF observed
+    /// carrying the stream, in sampled microseconds (sampling quantizes
+    /// this to the 50 µs tick).
+    pub remove_to_survivor_us: f64,
+    /// Up-transition latency: re-enumeration instant → home PF observed
+    /// carrying the stream again, in sampled microseconds.
+    pub readd_to_home_us: f64,
+    /// Degraded-mode throughput as a fraction of the healthy baseline
+    /// (legacy NUDMA: every byte crosses the interconnect).
+    pub degraded_ratio: f64,
+    /// Post-restore throughput as a fraction of the healthy baseline.
+    pub recovered_ratio: f64,
+    /// Stale-epoch completions fenced across both transitions.
+    pub fenced_completions: u64,
+    /// Stale-epoch interrupts fenced.
+    pub fenced_irqs: u64,
+    /// Quiesce/drain/rebind sequences completed (2 for one full cycle).
+    pub reconfigs: u64,
+    /// Transitions into legacy NUDMA mode.
+    pub nudma_entries: u64,
+    /// Transitions back to uniform IOctopus mode.
+    pub nudma_exits: u64,
+    /// Packets dropped because their PF was dead with no failover path.
+    pub dropped_pf_dead: u64,
+    /// Flow rules the firmware moved off the removed PF.
+    pub resteered_flows: u64,
+    /// Bytes the server application consumed over the run.
+    pub consumed: u64,
+}
+
 /// Figure 13's co-location measurement.
 #[derive(Debug, Clone)]
 pub struct ColocationResult {

@@ -57,6 +57,10 @@ pub enum Event {
         side: Side,
         /// Queue to service.
         queue: QueueId,
+        /// Device epoch stamped when the interrupt was raised; the host
+        /// fences the delivery if the queue's PF has been hot-removed or
+        /// re-enumerated since.
+        epoch: u64,
     },
     /// A blocked thread resumes on `side`.
     Wake {
@@ -211,7 +215,14 @@ impl OutRouter {
                     },
                 )
             }
-            HostOut::Irq { at, queue } => (at, Event::Irq { side: from, queue }),
+            HostOut::Irq { at, queue, epoch } => (
+                at,
+                Event::Irq {
+                    side: from,
+                    queue,
+                    epoch,
+                },
+            ),
             HostOut::Wake { at, thread } => (at, Event::Wake { side: from, thread }),
         }
     }

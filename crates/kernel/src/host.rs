@@ -106,6 +106,22 @@ pub struct HostRobustness {
     /// Steering re-install attempts retried by the watchdog because a
     /// queue's control path was dead when the PF came back.
     pub steering_reinstall_retries: u64,
+    /// Completions fenced by the epoch check: they were in flight across a
+    /// surprise removal / re-enumeration, so they were counted and their
+    /// resources recycled, but never delivered.
+    pub fenced_completions: u64,
+    /// Interrupts discarded because their epoch stamp predated the queue
+    /// PF's current epoch (the device that raised them is gone).
+    pub fenced_irqs: u64,
+    /// Completed quiesce/drain/rebind reconfiguration sequences (one per
+    /// presence transition in either direction).
+    pub reconfigs: u64,
+    /// Transitions into legacy NUDMA mode: a surprise removal left exactly
+    /// one live PF, so every flow crosses the socket interconnect.
+    pub nudma_entries: u64,
+    /// Transitions back to uniform IOctopus mode: a re-enumeration restored
+    /// a second live PF and steering was pulled home.
+    pub nudma_exits: u64,
 }
 
 /// Per-queue doorbell-retry state (bounded exponential backoff).
@@ -133,6 +149,10 @@ pub enum HostOut {
         at: Time,
         /// Queue to service.
         queue: QueueId,
+        /// Device epoch of the queue's PF when the interrupt was raised.
+        /// [`Host::irq_stamped`] discards the interrupt if the PF has been
+        /// surprise-removed or re-enumerated since (a stale epoch).
+        epoch: u64,
     },
     /// A blocked thread becomes runnable at `at`.
     Wake {
@@ -187,6 +207,8 @@ pub struct Host {
     cfg: HostConfig,
     sockets: SocketTable,
     netdevs: Vec<Netdev>,
+    /// The NIC's endpoints in PF-index order (as passed to [`Host::new`]).
+    pfs: Vec<PfId>,
     /// Which PF each queue rides (cached from the NIC).
     queue_pf: Vec<PfId>,
     queue_node: Vec<NodeId>,
@@ -206,6 +228,7 @@ pub struct Host {
     steer_retry: RetryState,
     steer_pending: bool,
     break_recovery: bool,
+    break_readd: bool,
     robust: HostRobustness,
     /// Recycled scratch for NIC Tx doorbells so ringing one never
     /// allocates in steady state (the NIC clears it on entry).
@@ -364,6 +387,7 @@ impl Host {
             cfg,
             sockets: SocketTable::new(),
             netdevs,
+            pfs: pfs.to_vec(),
             queue_pf,
             queue_node,
             queue_irq_core,
@@ -376,6 +400,7 @@ impl Host {
             steer_retry: RetryState::default(),
             steer_pending: false,
             break_recovery: false,
+            break_readd: false,
             robust: HostRobustness::default(),
             tx_scratch: TxOutcome::default(),
         }
@@ -698,7 +723,12 @@ impl Host {
             out.push(HostOut::PacketToPeer { at, flow, bytes: b });
         }
         if let Some((at, _core)) = self.tx_scratch.irq {
-            out.push(HostOut::Irq { at, queue: q });
+            let epoch = self.nic.pf_epoch(self.queue_pf[q.0]);
+            out.push(HostOut::Irq {
+                at,
+                queue: q,
+                epoch,
+            });
         }
     }
 
@@ -784,7 +814,8 @@ impl Host {
         {
             RxOutcome::Delivered { queue, irq, .. } => {
                 if let Some((at, _core)) = irq {
-                    out.push(HostOut::Irq { at, queue });
+                    let epoch = self.nic.pf_epoch(self.queue_pf[queue.0]);
+                    out.push(HostOut::Irq { at, queue, epoch });
                 }
             }
             RxOutcome::DroppedNoBuffer { .. }
@@ -794,12 +825,35 @@ impl Host {
         }
     }
 
+    /// [`Host::irq`] behind the epoch fence: an interrupt stamped with an
+    /// epoch older than the queue PF's current one was raised by a device
+    /// instance that has since been surprise-removed or re-enumerated. It
+    /// is counted and discarded without polling — any live completions on
+    /// the queue raise their own (current-epoch) interrupts, and the
+    /// watchdog's stale-landing check backstops the rest.
+    pub fn irq_stamped(
+        &mut self,
+        now: Time,
+        queue: QueueId,
+        epoch: u64,
+        out: &mut OutBuf<HostOut>,
+    ) {
+        if epoch < self.nic.pf_epoch(self.queue_pf[queue.0]) {
+            self.robust.fenced_irqs += 1;
+            return;
+        }
+        self.irq(now, queue, out);
+    }
+
     /// NAPI: services `queue`'s completion queues on its IRQ core.
     /// Follow-up events are appended to `out`.
     pub fn irq(&mut self, now: Time, queue: QueueId, out: &mut OutBuf<HostOut>) {
         let costs = self.cfg.costs;
         let core = self.queue_irq_core[queue.0];
         let node = self.queue_node[queue.0];
+        // Current device epoch of this queue's PF: completions stamped
+        // below it were in flight across a removal and must be fenced.
+        let cur_epoch = self.nic.pf_epoch(self.queue_pf[queue.0]);
         let mut t = self.cores.run(core, now, costs.irq_entry);
 
         // Rx completions. NAPI paces itself with CQE *landings*: an entry
@@ -827,6 +881,16 @@ impl Host {
                 .mem
                 .cpu_read(rt, node, cqe_addr, CQE_BYTES, AccessKind::Pointer);
             let buf = comp.buffer.expect("rx completions carry buffers");
+            if comp.epoch < cur_epoch {
+                // The fence: this completion crossed a surprise removal /
+                // re-enumeration. The CPU still read the CQE (that cost is
+                // real), but the packet is counted and its buffer recycled
+                // — never delivered to a socket.
+                t = self.cores.run(core, t, cq_read);
+                self.robust.fenced_completions += 1;
+                self.rx_pools[queue.0].put(buf.addr);
+                continue;
+            }
             // Protocol processing starts with a dependent load of the
             // packet headers — an LLC hit under DDIO, a DRAM miss when the
             // device wrote the buffer remotely (§2.3's invalidated line L).
@@ -886,7 +950,13 @@ impl Host {
                 AccessKind::Pointer,
             );
             t = self.cores.run(core, t, cq_read + costs.per_tx_completion);
-            if comp.error {
+            if comp.epoch < cur_epoch {
+                // Fenced: the producing device instance is gone. Resources
+                // are still reclaimed below (the pool audit demands it) but
+                // the completion is never interpreted — neither as success
+                // nor as a driver-visible error.
+                self.robust.fenced_completions += 1;
+            } else if comp.error {
                 // The NIC aborted this descriptor (its PF failed or the link
                 // dropped): the payload never reached the wire. Resources are
                 // still freed and the sender woken so it can retry on a live
@@ -920,6 +990,7 @@ impl Host {
             out.push(HostOut::Irq {
                 at: (landed + delay).max(t),
                 queue,
+                epoch: cur_epoch,
             });
             return;
         }
@@ -935,7 +1006,11 @@ impl Host {
             }
         } else {
             // Completions raced in while we processed: poll again.
-            out.push(HostOut::Irq { at: t, queue });
+            out.push(HostOut::Irq {
+                at: t,
+                queue,
+                epoch: cur_epoch,
+            });
         }
     }
 
@@ -1163,7 +1238,12 @@ impl Host {
             let q = QueueId(qi);
             if stale(self.nic.rx_landing(q)) || stale(self.nic.tx_landing(q)) {
                 self.robust.watchdog_irq_recoveries += 1;
-                out.push(HostOut::Irq { at: now, queue: q });
+                let epoch = self.nic.pf_epoch(self.queue_pf[qi]);
+                out.push(HostOut::Irq {
+                    at: now,
+                    queue: q,
+                    epoch,
+                });
                 continue;
             }
             let stuck = self.nic.tx_backlog(q) > 0
@@ -1190,7 +1270,10 @@ impl Host {
     /// Applies one fault-plan event to this host's I/O complex. Link faults
     /// go to the PCIe fabric; PF faults go to the NIC, with the driver-side
     /// recovery work (steering reinstall, doorbell retry budgets) done here.
-    pub fn apply_fault(&mut self, now: Time, pf: PfId, kind: FaultKind) {
+    /// Hotplug events run the three-phase quiesce/drain/rebind sequence,
+    /// which can wake senders whose fenced buffers were reclaimed —
+    /// follow-up events are appended to `out`.
+    pub fn apply_fault(&mut self, now: Time, pf: PfId, kind: FaultKind, out: &mut OutBuf<HostOut>) {
         self.robust.faults_applied += 1;
         match kind {
             FaultKind::LinkDown | FaultKind::LinkDegrade { .. } => {
@@ -1237,6 +1320,142 @@ impl Host {
                 // (the fault still counts as applied, mirroring hardware
                 // that latches an AER it has no handler for).
             }
+            FaultKind::SurpriseRemove => {
+                let was_alive = self.nic.pf_alive(pf);
+                // Phase 1 — quiesce: the endpoint vanishes from the fabric
+                // (in-flight transactions are dropped and counted there),
+                // the NIC resets the function — flushing its Tx backlog as
+                // error completions stamped with the *dying* epoch — and
+                // only then does the driver advance its epoch mirror,
+                // fencing everything stamped before this instant.
+                self.fabric.apply_link_fault(now, pf, kind);
+                self.nic.fail_pf(now, pf);
+                let old_epoch = self.nic.pf_epoch(pf);
+                if let Some(e) = self.fabric.epoch(pf) {
+                    self.nic.set_pf_epoch(pf, e);
+                }
+                if self.nic.pf_epoch(pf) > old_epoch {
+                    // Phase 2 — drain: reap everything already visible on
+                    // the removed PF's queues through the fence. Entries
+                    // whose DMA has not landed yet stay put; they hit the
+                    // same fence in `irq` as late completions.
+                    self.drain_fenced(now, pf, out);
+                    // Phase 3 — rebind: MPFS default + per-flow fallback
+                    // (inside `fail_pf`) already steer Rx through the
+                    // survivors, and XPS failover moves Tx on the next
+                    // send. One live PF left means every flow now crosses
+                    // the interconnect: legacy NUDMA mode, degraded but
+                    // alive.
+                    self.robust.reconfigs += 1;
+                    if was_alive && self.live_pf_count() == 1 {
+                        self.robust.nudma_entries += 1;
+                    }
+                }
+            }
+            FaultKind::Reenumerate => {
+                let was_nudma = !self.nic.pf_alive(pf) && self.live_pf_count() == 1;
+                // Quiesce: slot power-up bumps the fabric epoch again (and
+                // stalls the retrained links), so stragglers from the
+                // removed instance stay fenced.
+                self.fabric.apply_link_fault(now, pf, kind);
+                let old_epoch = self.nic.pf_epoch(pf);
+                if let Some(e) = self.fabric.epoch(pf) {
+                    self.nic.set_pf_epoch(pf, e);
+                }
+                let advanced = self.nic.pf_epoch(pf) > old_epoch;
+                if advanced {
+                    // Drain: late completions that landed during the
+                    // outage window.
+                    self.drain_fenced(now, pf, out);
+                }
+                // Rebind: revive the function and pull steering home —
+                // restoring uniform IOctopus mode — exactly as PF recovery
+                // does, including the dead-control-path retry.
+                self.nic.recover_pf(pf);
+                for st in &mut self.tx_retry {
+                    *st = RetryState::default();
+                }
+                if self.reinstall_steering(now) {
+                    self.steer_pending = false;
+                } else {
+                    self.steer_pending = true;
+                    self.steer_retry = RetryState::default();
+                }
+                if advanced {
+                    self.robust.reconfigs += 1;
+                    if was_nudma && self.live_pf_count() > 1 {
+                        self.robust.nudma_exits += 1;
+                    }
+                    if self.break_readd {
+                        // Test-only sabotage (see `debug_break_readd`): the
+                        // rebind path drops one free Tx kernel buffer on the
+                        // re-added PF's home node while re-initializing its
+                        // rings.
+                        if let Some(qi) = self.queue_pf.iter().position(|&p| p == pf) {
+                            let node = self.queue_node[qi];
+                            let _ = self.tx_pools[node.0].take();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live (not failed / not removed) PFs on this host's NIC.
+    fn live_pf_count(&self) -> usize {
+        self.pfs.iter().filter(|&&p| self.nic.pf_alive(p)).count()
+    }
+
+    /// Phase-2 drain of an epoch fence: reaps every completion already
+    /// visible on `pf`'s queues and fences it — counted, resources
+    /// recycled, nothing delivered. All of them are stale by construction:
+    /// the epoch advanced immediately before this runs, and no
+    /// current-epoch completion can exist yet. Un-landed entries are left
+    /// in place for the late-completion fence in [`Host::irq`].
+    fn drain_fenced(&mut self, now: Time, pf: PfId, out: &mut OutBuf<HostOut>) {
+        for qi in 0..self.queue_pf.len() {
+            if self.queue_pf[qi] != pf {
+                continue;
+            }
+            let q = QueueId(qi);
+            while matches!(self.nic.rx_landing(q), Some(l) if l <= now) {
+                let Some((_cqe, comp)) = self.nic.pop_rx_completion(q) else {
+                    break;
+                };
+                self.robust.fenced_completions += 1;
+                if let Some(buf) = comp.buffer {
+                    self.rx_pools[qi].put(buf.addr);
+                }
+            }
+            while matches!(self.nic.tx_landing(q), Some(l) if l <= now) {
+                if self.nic.pop_tx_completion(q).is_none() {
+                    break;
+                }
+                self.robust.fenced_completions += 1;
+                self.release_tx_entry(now, qi, out);
+            }
+        }
+    }
+
+    /// Releases the oldest in-flight Tx entry of queue `qi`: the kernel
+    /// buffer returns to its node pool, the socket's in-flight accounting
+    /// shrinks, and a blocked sender is woken. Shared by the fence paths;
+    /// the payload is *not* treated as transmitted.
+    fn release_tx_entry(&mut self, now: Time, qi: usize, out: &mut OutBuf<HostOut>) {
+        if let Some((kbuf, sid, bytes)) = self.tx_pending[qi].pop_front() {
+            if let Some(kbuf) = kbuf {
+                self.tx_pools[kbuf.home().0].put(kbuf);
+            }
+            let s = self.sockets.get_mut(sid);
+            s.tx_inflight = s.tx_inflight.saturating_sub(bytes);
+            if s.tx_waiting {
+                s.tx_waiting = false;
+                let owner = s.owner;
+                out.push(HostOut::Wake {
+                    at: now + self.cfg.costs.wake_latency,
+                    thread: owner,
+                });
+            }
         }
     }
 
@@ -1250,6 +1469,19 @@ impl Host {
     #[doc(hidden)]
     pub fn debug_break_recovery(&mut self) {
         self.break_recovery = true;
+    }
+
+    /// Arms a test-only bug in the *hotplug rebind* path: every completed
+    /// re-enumeration (epoch actually advanced, i.e. a real remove→re-add
+    /// cycle) leaks one Tx kernel buffer from the re-added PF's home-node
+    /// pool, modeling a ring re-init that drops a free descriptor. Because
+    /// the leak only fires when the epoch advanced, the minimal schedule
+    /// that exposes it is exactly a `SurpriseRemove` followed by a
+    /// `Reenumerate` on the same PF — which is what the campaign shrinker
+    /// must converge to. Never set outside tests/harnesses.
+    #[doc(hidden)]
+    pub fn debug_break_readd(&mut self) {
+        self.break_readd = true;
     }
 
     /// After a PF returns, re-install every socket's steering at its owner's
@@ -1426,6 +1658,12 @@ mod tests {
         out.drain().collect()
     }
 
+    fn fault(host: &mut Host, at: Time, pf: PfId, kind: FaultKind) -> Vec<HostOut> {
+        let mut out = OutBuf::new();
+        host.apply_fault(at, pf, kind, &mut out);
+        out.drain().collect()
+    }
+
     fn send(host: &mut Host, at: Time, sock: SockId, bytes: u64) -> (SendOutcome, Vec<HostOut>) {
         let mut out = OutBuf::new();
         let r = host.send(at, sock, bytes, &mut out);
@@ -1469,7 +1707,7 @@ mod tests {
         let got_irq = outs
             .iter()
             .find_map(|o| match o {
-                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
                 _ => None,
             })
             .expect("irq scheduled");
@@ -1520,7 +1758,7 @@ mod tests {
         let (at, q) = outs
             .iter()
             .find_map(|o| match o {
-                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
                 _ => None,
             })
             .expect("tx completion irq");
@@ -1573,7 +1811,7 @@ mod tests {
         let (at, q) = outs
             .iter()
             .find_map(|o| match o {
-                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
                 _ => None,
             })
             .unwrap();
@@ -1617,7 +1855,7 @@ mod tests {
         assert_eq!(host.socket(sock).last_tx_queue, Some(q0), "ooo guard");
         // Complete outstanding packets.
         for o in &outs {
-            if let HostOut::Irq { at, queue } = o {
+            if let HostOut::Irq { at, queue, .. } = o {
                 irq(&mut host, *at, *queue);
             }
         }
@@ -1651,7 +1889,7 @@ mod tests {
             t += Dur::from_us(2);
             let outs = wire(&mut host, t, flow, 1448, seq);
             for o in outs {
-                if let HostOut::Irq { at, queue } = o {
+                if let HostOut::Irq { at, queue, .. } = o {
                     irq(&mut host, at, queue);
                 }
             }
@@ -1677,14 +1915,14 @@ mod tests {
         let mac = host.netdev_mac(NetdevId(0));
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0]);
 
-        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::PfFail);
+        fault(&mut host, Time::from_ms(1), pfs[0], FaultKind::PfFail);
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1], "failed over");
         // Traffic keeps flowing through the survivor.
         let outs = wire(&mut host, Time::from_ms(2), flow, 1448, 0);
         let (at, q) = outs
             .iter()
             .find_map(|o| match o {
-                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
                 _ => None,
             })
             .expect("delivered via surviving PF");
@@ -1695,7 +1933,7 @@ mod tests {
             o => panic!("{o:?}"),
         }
 
-        host.apply_fault(Time::from_ms(3), pfs[0], FaultKind::PfRecover);
+        fault(&mut host, Time::from_ms(3), pfs[0], FaultKind::PfRecover);
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0], "pulled home");
         assert_eq!(host.robustness().faults_applied, 2);
     }
@@ -1706,7 +1944,7 @@ mod tests {
         let th = host.spawn_thread(0);
         let flow = client_flow(3001);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
-        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::IrqLoss);
+        fault(&mut host, Time::from_us(1), pfs[0], FaultKind::IrqLoss);
         let outs = wire(&mut host, Time::from_us(5), flow, 1448, 0);
         assert!(
             !outs.iter().any(|o| matches!(o, HostOut::Irq { .. })),
@@ -1718,7 +1956,7 @@ mod tests {
         let (at, q) = outs
             .iter()
             .find_map(|o| match o {
-                HostOut::Irq { at, queue } => Some((*at, *queue)),
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
                 _ => None,
             })
             .expect("watchdog polls the silent queue");
@@ -1736,7 +1974,7 @@ mod tests {
         let th = host.spawn_thread(0);
         let flow = client_flow(3002);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
-        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::LinkDown);
+        fault(&mut host, Time::from_us(1), pfs[0], FaultKind::LinkDown);
         let (r, outs) = send(&mut host, Time::from_us(2), sock, 2000);
         assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
         assert!(outs.is_empty(), "doorbell vanished into the dead link");
@@ -1746,7 +1984,7 @@ mod tests {
         assert!(outs.is_empty());
         assert_eq!(host.robustness().doorbells_lost, 2);
         // …but after retraining, the re-rung doorbell transmits.
-        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
+        fault(&mut host, Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
         let outs = watchdog(&mut host, Time::from_ms(2));
         assert!(
             outs.iter()
@@ -1765,7 +2003,7 @@ mod tests {
         let th = host.spawn_thread(0);
         let flow = client_flow(3003);
         let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
-        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::PfFail);
+        fault(&mut host, Time::from_us(1), pfs[0], FaultKind::PfFail);
         let (r, outs) = send(&mut host, Time::from_us(2), sock, 2000);
         assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
         assert!(
@@ -1778,7 +2016,7 @@ mod tests {
         // The error completions land immediately; the watchdog polls them.
         let wd_at = Time::from_us(2) + host.config().watchdog_timeout + Dur::from_us(50);
         for o in watchdog(&mut host, wd_at) {
-            if let HostOut::Irq { at, queue } = o {
+            if let HostOut::Irq { at, queue, .. } = o {
                 irq(&mut host, at, queue);
             }
         }
@@ -1802,7 +2040,7 @@ mod tests {
                 t += Dur::from_us(3);
                 let outs = wire(&mut host, t, flow, 1448, seq);
                 for o in outs {
-                    if let HostOut::Irq { at, queue } = o {
+                    if let HostOut::Irq { at, queue, .. } = o {
                         irq(&mut host, at, queue);
                     }
                 }
@@ -1832,13 +2070,13 @@ mod tests {
         for seq in 0..32u64 {
             t += Dur::from_us(3);
             if seq == 10 {
-                host.apply_fault(t, pfs[0], FaultKind::PfFail);
+                fault(&mut host, t, pfs[0], FaultKind::PfFail);
             }
             if seq == 20 {
-                host.apply_fault(t, pfs[0], FaultKind::PfRecover);
+                fault(&mut host, t, pfs[0], FaultKind::PfRecover);
             }
             for o in wire(&mut host, t, flow, 1448, seq) {
-                if let HostOut::Irq { at, queue } = o {
+                if let HostOut::Irq { at, queue, .. } = o {
                     irq(&mut host, at, queue);
                 }
             }
@@ -1867,7 +2105,7 @@ mod tests {
         host.audit(&mut a);
         assert!(a.ok(), "clean before sabotage: {:?}", a.violations());
         host.debug_break_recovery();
-        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::PfFail);
+        fault(&mut host, Time::from_ms(1), pfs[0], FaultKind::PfFail);
         let mut a = Audit::new();
         host.audit(&mut a);
         assert!(!a.ok(), "the leaked buffer must be caught");
@@ -1883,11 +2121,225 @@ mod tests {
     #[test]
     fn media_fault_is_absorbed_by_a_nic_only_host() {
         let (mut host, pfs) = build(DriverModel::OctoTeam);
-        host.apply_fault(Time::ZERO, pfs[0], FaultKind::MediaFault { errors: 3 });
+        fault(
+            &mut host,
+            Time::ZERO,
+            pfs[0],
+            FaultKind::MediaFault { errors: 3 },
+        );
         assert_eq!(host.robustness().faults_applied, 1);
         let mut a = Audit::new();
         host.audit(&mut a);
         assert!(a.ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn service_survives_total_pf_loss_then_readd() {
+        // The acceptance scenario: PF0 is surprise-removed outright (total
+        // loss of the function, not a transient link/PF fault). The host
+        // transparently enters legacy NUDMA mode — every flow rides the
+        // remote survivor — and on re-enumeration returns to uniform
+        // IOctopus mode behind the same fence.
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(5000);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let mac = host.netdev_mac(NetdevId(0));
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0]);
+
+        fault(
+            &mut host,
+            Time::from_ms(1),
+            pfs[0],
+            FaultKind::SurpriseRemove,
+        );
+        assert_eq!(host.nic.pf_epoch(pfs[0]), 1, "epoch retired");
+        assert!(!host.fabric.present(pfs[0]), "endpoint gone");
+        assert_eq!(host.robustness().reconfigs, 1);
+        assert_eq!(host.robustness().nudma_entries, 1, "legacy NUDMA mode");
+
+        // Service stays alive through the survivor: Rx delivers end to end.
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1]);
+        let outs = wire(&mut host, Time::from_ms(2), flow, 1448, 0);
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
+                _ => None,
+            })
+            .expect("delivered via the surviving PF");
+        assert_eq!(host.queue_pf[q.0], pfs[1], "NUDMA: remote PF carries it");
+        irq(&mut host, at, q);
+        match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
+            RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+            o => panic!("{o:?}"),
+        }
+        // Tx keeps flowing too (XPS failover onto the survivor's queue).
+        let (r, outs) = send(&mut host, Time::from_ms(3), sock, 2000);
+        assert!(matches!(r, SendOutcome::Sent { .. }), "{r:?}");
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, HostOut::PacketToPeer { .. })),
+            "degraded-mode Tx reaches the wire"
+        );
+
+        // Re-add: fresh epoch, steering pulled home, uniform mode restored.
+        fault(&mut host, Time::from_ms(4), pfs[0], FaultKind::Reenumerate);
+        assert_eq!(host.nic.pf_epoch(pfs[0]), 2, "fresh epoch on re-add");
+        assert!(host.fabric.present(pfs[0]));
+        assert_eq!(host.robustness().reconfigs, 2);
+        assert_eq!(host.robustness().nudma_exits, 1, "uniform mode restored");
+        assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0], "pulled home");
+        // Past the retrain window, PF0 carries traffic again.
+        let outs = wire(&mut host, Time::from_ms(6), flow, 1448, 1);
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
+                _ => None,
+            })
+            .expect("delivered via the re-added PF");
+        assert_eq!(host.queue_pf[q.0], pfs[0]);
+        irq(&mut host, at, q);
+        match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
+            RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+            o => panic!("{o:?}"),
+        }
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn surprise_remove_drains_inflight_tx_and_wakes_sender() {
+        // Descriptors stranded in the ring by a dead doorbell are flushed
+        // by the removal with the dying epoch; the drain phase fences them
+        // — resources reclaimed, blocked sender woken, but none counted as
+        // driver-visible Tx errors.
+        let (mut host, pfs) = build(DriverModel::Standard);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(5001);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        fault(&mut host, Time::from_us(1), pfs[0], FaultKind::LinkDown);
+        let mut t = Time::from_us(2);
+        let mut blocked = false;
+        for _ in 0..200 {
+            match send(&mut host, t, sock, 64 * 1024).0 {
+                SendOutcome::Sent { done_at } => t = done_at,
+                SendOutcome::WouldBlock => {
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        assert!(blocked, "sndbuf must fill against the dead doorbell");
+        assert!(host.socket(sock).tx_inflight > 0);
+
+        let outs = fault(
+            &mut host,
+            t + Dur::from_us(1),
+            pfs[0],
+            FaultKind::SurpriseRemove,
+        );
+        assert_eq!(host.socket(sock).tx_inflight, 0, "drained at quiesce");
+        assert!(host.robustness().fenced_completions > 0);
+        assert_eq!(
+            host.robustness().tx_error_completions,
+            0,
+            "fenced, not errored"
+        );
+        assert!(
+            outs.iter().any(|o| matches!(o, HostOut::Wake { .. })),
+            "blocked sender released by the drain"
+        );
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(
+            a.ok(),
+            "pool accounting survives the drain: {:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn late_completion_is_fenced_not_delivered() {
+        // A packet's CQE DMA is still in flight when the PF vanishes: the
+        // entry lands *after* the quiesce point and must be counted and
+        // discarded — its buffer recycled, nothing reaching the socket.
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(5002);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let t0 = Time::from_us(5);
+        let outs = wire(&mut host, t0, flow, 1448, 0);
+        let (irq_at, q, stamped) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue, epoch } => Some((*at, *queue, *epoch)),
+                _ => None,
+            })
+            .expect("irq scheduled");
+        assert_eq!(stamped, 0, "raised under the original epoch");
+        // The removal lands between the DMA and its visibility: the drain
+        // phase must leave the un-landed entry in place.
+        fault(
+            &mut host,
+            t0 + Dur::from_ns(1),
+            pfs[0],
+            FaultKind::SurpriseRemove,
+        );
+        assert_eq!(host.nic.rx_cq_depth(q), 1, "late CQE still in flight");
+        // The stale-stamped interrupt itself is fenced…
+        let mut out = OutBuf::new();
+        host.irq_stamped(irq_at, q, stamped, &mut out);
+        assert_eq!(host.robustness().fenced_irqs, 1);
+        assert_eq!(host.nic.rx_cq_depth(q), 1, "fenced irq never polled");
+        // …and when the watchdog polls the queue, the completion is fenced
+        // at the CQE level: counted, recycled, never delivered.
+        let wd_at = irq_at + host.config().watchdog_timeout + Dur::from_us(50);
+        for o in watchdog(&mut host, wd_at) {
+            if let HostOut::Irq { at, queue, epoch } = o {
+                host.irq_stamped(at, queue, epoch, &mut OutBuf::new());
+            }
+        }
+        assert_eq!(host.nic.rx_cq_depth(q), 0, "reaped through the fence");
+        assert!(host.robustness().fenced_completions >= 1);
+        assert!(matches!(
+            host.recv(wd_at + Dur::from_us(50), sock, 1 << 20),
+            RecvOutcome::WouldBlock
+        ));
+        assert_eq!(host.socket(sock).rx_bytes, 0, "never delivered");
+        let mut a = Audit::new();
+        host.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn unpaired_reenumerate_is_harmless() {
+        // Campaigns can fire a Reenumerate with no preceding removal: the
+        // fabric treats it as idempotent, no epoch advances, and no live
+        // completion may be fenced.
+        let (mut host, pfs) = build(DriverModel::OctoTeam);
+        let th = host.spawn_thread(0);
+        let flow = client_flow(5003);
+        let sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
+        let outs = wire(&mut host, Time::from_us(5), flow, 1448, 0);
+        fault(&mut host, Time::from_us(6), pfs[0], FaultKind::Reenumerate);
+        assert_eq!(host.nic.pf_epoch(pfs[0]), 0, "no epoch churn");
+        assert_eq!(host.robustness().reconfigs, 0);
+        let (at, q) = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOut::Irq { at, queue, .. } => Some((*at, *queue)),
+                _ => None,
+            })
+            .unwrap();
+        irq(&mut host, at, q);
+        match host.recv(at + Dur::from_us(50), sock, 1 << 20) {
+            RecvOutcome::Data { bytes, .. } => assert_eq!(bytes, 1448),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(host.robustness().fenced_completions, 0);
     }
 
     #[test]
@@ -1898,12 +2350,12 @@ mod tests {
         let _sock = host.open_socket(Time::ZERO, th, flow, NetdevId(0));
         let mac = host.netdev_mac(NetdevId(0));
         // PF0 fails and its link goes down; the flow fails over to PF1.
-        host.apply_fault(Time::from_us(1), pfs[0], FaultKind::LinkDown);
-        host.apply_fault(Time::from_us(2), pfs[0], FaultKind::PfFail);
+        fault(&mut host, Time::from_us(1), pfs[0], FaultKind::LinkDown);
+        fault(&mut host, Time::from_us(2), pfs[0], FaultKind::PfFail);
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1]);
         // The PF recovers while its link is still down: the reinstall MMIO
         // vanishes, so the flow must stay on the survivor for now.
-        host.apply_fault(Time::from_us(3), pfs[0], FaultKind::PfRecover);
+        fault(&mut host, Time::from_us(3), pfs[0], FaultKind::PfRecover);
         assert_eq!(
             host.nic.mpfs().steer(mac, &flow),
             pfs[1],
@@ -1914,7 +2366,7 @@ mod tests {
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[1]);
         assert_eq!(host.robustness().steering_reinstall_retries, 1);
         // Link retrains; the next retry past the backoff pulls the flow home.
-        host.apply_fault(Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
+        fault(&mut host, Time::from_ms(1), pfs[0], FaultKind::LinkRecover);
         watchdog(&mut host, Time::from_ms(2));
         assert_eq!(host.nic.mpfs().steer(mac, &flow), pfs[0], "pulled home");
         assert!(host.robustness().steering_reinstalls >= 1);

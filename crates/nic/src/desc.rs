@@ -185,6 +185,11 @@ pub struct Completion {
     /// these and retries or tears down, but must not treat the payload as
     /// transferred.
     pub error: bool,
+    /// Device epoch of the producing PF at issue time. A completion whose
+    /// epoch is older than the PF's current epoch was in flight across a
+    /// surprise removal / re-enumeration; the driver *fences* it — counts
+    /// and recycles it, never delivers it.
+    pub epoch: u64,
 }
 
 #[cfg(test)]

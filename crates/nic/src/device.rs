@@ -202,6 +202,11 @@ pub struct Nic {
     rx_no_buffer: u64,
     pf_alive: Vec<bool>,
     irq_loss_pending: Vec<bool>,
+    /// Per-PF device epoch mirrored from the fabric by the driver's hotplug
+    /// path: every completion the device writes is stamped with its PF's
+    /// epoch at issue time, so the driver can fence stale entries after a
+    /// surprise removal / re-enumeration.
+    pf_epoch: Vec<u64>,
     home_default: PfId,
     counters: NicCounters,
     invalid_refs: Cell<u64>,
@@ -226,6 +231,7 @@ impl Nic {
             rx_no_buffer: 0,
             pf_alive: vec![true; pf_count],
             irq_loss_pending: vec![false; pf_count],
+            pf_epoch: vec![0; pf_count],
             home_default: default_pf,
             counters: NicCounters::default(),
             invalid_refs: Cell::new(0),
@@ -260,6 +266,29 @@ impl Nic {
         self.pf_alive.get(pf.0).copied().unwrap_or(false)
     }
 
+    /// The device epoch completions from `pf` are currently stamped with
+    /// (0 for an unknown PF, counted).
+    pub fn pf_epoch(&self, pf: PfId) -> u64 {
+        match self.pf_epoch.get(pf.0) {
+            Some(&e) => e,
+            None => {
+                self.invalid_refs.set(self.invalid_refs.get() + 1);
+                0
+            }
+        }
+    }
+
+    /// Advances `pf`'s device epoch to `epoch` (the driver mirrors the
+    /// fabric's epoch here across surprise removals and re-enumerations;
+    /// completions already sitting in CQs keep their older stamp and are
+    /// fenced by the driver when reaped). Epochs never move backwards.
+    pub fn set_pf_epoch(&mut self, pf: PfId, epoch: u64) {
+        match self.pf_epoch.get_mut(pf.0) {
+            Some(e) => *e = (*e).max(epoch),
+            None => self.invalid_refs.set(self.invalid_refs.get() + 1),
+        }
+    }
+
     /// Fails physical function `pf` (function-level death: its queues stop,
     /// in-flight Tx descriptors complete with error status at `now`, and —
     /// with octoNIC firmware — every flow rule steering to it migrates to
@@ -276,10 +305,11 @@ impl Nic {
         }
         self.pf_alive[pf.0] = false;
         self.counters.pf_fails += 1;
+        let epoch = self.pf_epoch[pf.0];
         for i in 0..self.queues.len() {
             if self.queues[i].cfg.pf == pf {
                 self.counters.error_completions +=
-                    Self::flush_queue_on_reset(&mut self.queues[i], now);
+                    Self::flush_queue_on_reset(&mut self.queues[i], now, epoch);
             }
         }
         // ARFS rules on the dead PF are function state; the reset wipes
@@ -361,7 +391,7 @@ impl Nic {
     /// entries, and skipping that churn keeps the host's buffer pools
     /// balanced without an extra repost handshake. Returns the error
     /// completions generated.
-    fn flush_queue_on_reset(q: &mut Queue, now: Time) -> u64 {
+    fn flush_queue_on_reset(q: &mut Queue, now: Time, epoch: u64) -> u64 {
         let mut n = 0;
         while let Some((_, desc)) = q.tx_ring.consume() {
             if q.tx_cq.next_slot_addr().is_some() {
@@ -373,6 +403,7 @@ impl Nic {
                         buffer: None,
                         landed_at: now,
                         error: true,
+                        epoch,
                     })
                     .expect("slot checked above");
             }
@@ -535,12 +566,14 @@ impl Nic {
             // Doorbell rang on a dead function: everything posted completes
             // with error status (the ring doorbell itself is a posted MMIO
             // write — nothing tells the driver synchronously).
+            let epoch = self.pf_epoch[pf.0];
             let qq = &mut self.queues[q.0];
-            let n = Self::flush_queue_on_reset(qq, doorbell_at);
+            let n = Self::flush_queue_on_reset(qq, doorbell_at, epoch);
             self.counters.error_completions += n;
             out.errors += n;
             return;
         }
+        let epoch = self.pf_epoch[pf.0];
         // The engine is pipelined: it spends `processing_delay` of occupancy
         // per descriptor while the DMA latencies of consecutive packets
         // overlap (bandwidth is still serialized inside the PCIe links).
@@ -573,7 +606,7 @@ impl Nic {
                     Some(slowest)
                 });
             let Some(slowest) = fetched else {
-                Self::post_error_completion(&mut self.queues[q.0], &desc, engine);
+                Self::post_error_completion(&mut self.queues[q.0], &desc, engine, epoch);
                 self.counters.error_completions += 1;
                 out.errors += 1;
                 continue;
@@ -610,7 +643,7 @@ impl Nic {
                 // reached the wire but its completion never lands; firmware
                 // synthesizes an error CQE for the watchdog to find.
                 None => {
-                    Self::post_error_completion(&mut self.queues[q.0], &desc, t);
+                    Self::post_error_completion(&mut self.queues[q.0], &desc, t, epoch);
                     self.counters.error_completions += 1;
                     out.errors += 1;
                     continue;
@@ -625,6 +658,7 @@ impl Nic {
                     buffer: None,
                     landed_at: cqe_done,
                     error: false,
+                    epoch,
                 })
                 .expect("slot checked above");
             out.completions.push(cqe_done);
@@ -651,7 +685,7 @@ impl Nic {
 
     /// Synthesizes an error CQE for `desc` at `at` (control path, no DMA
     /// charge), if the CQ has room.
-    fn post_error_completion(q: &mut Queue, desc: &TxDesc, at: Time) {
+    fn post_error_completion(q: &mut Queue, desc: &TxDesc, at: Time, epoch: u64) {
         if q.tx_cq.next_slot_addr().is_some() {
             q.tx_cq
                 .post(Completion {
@@ -661,6 +695,7 @@ impl Nic {
                     buffer: None,
                     landed_at: at,
                     error: true,
+                    epoch,
                 })
                 .expect("slot checked above");
         }
@@ -768,6 +803,7 @@ impl Nic {
                 buffer: Some(buf),
                 landed_at: t,
                 error: false,
+                epoch: self.pf_epoch[qpf.0],
             })
             .expect("slot checked above");
         self.rx_bytes_per_pf[qpf.0] += payload;
@@ -1572,6 +1608,57 @@ mod tests {
         // The home PF coming back reclaims its configured role.
         r.nic.recover_pf(r.pfs[0]);
         assert_eq!(r.nic.mpfs().default_pf(), r.pfs[0]);
+    }
+
+    #[test]
+    fn completions_carry_the_pf_epoch() {
+        let mut r = rig(SteeringMode::MacBased);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 4);
+        assert_eq!(r.nic.pf_epoch(r.pfs[0]), 0);
+        r.nic.set_pf_epoch(r.pfs[0], 2);
+        // Epochs never move backwards.
+        r.nic.set_pf_epoch(r.pfs[0], 1);
+        assert_eq!(r.nic.pf_epoch(r.pfs[0]), 2);
+        r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        let (_, c) = r.nic.pop_rx_completion(q0_).unwrap();
+        assert_eq!(c.epoch, 2, "rx CQE stamped with the PF's current epoch");
+        let payload = r.mem.alloc(N0, 4096);
+        r.nic
+            .post_tx(r.q0, TxDesc::simple(payload, 100, flow(), false))
+            .unwrap();
+        let mut out = TxOutcome::default();
+        r.nic.tx_doorbell(
+            Time::from_us(1),
+            Time::from_us(1),
+            r.q0,
+            &mut r.fab,
+            &mut r.mem,
+            &mut out,
+        );
+        let (_, tc) = r.nic.pop_tx_completion(r.q0).unwrap();
+        assert_eq!(tc.epoch, 2, "tx CQE stamped too");
+        // Error completions from a function-level reset carry the epoch at
+        // flush time.
+        r.nic
+            .post_tx(r.q0, TxDesc::simple(payload, 100, flow(), false))
+            .unwrap();
+        r.nic.fail_pf(Time::from_us(2), r.pfs[0]);
+        let (_, ec) = r.nic.pop_tx_completion(r.q0).unwrap();
+        assert!(ec.error);
+        assert_eq!(ec.epoch, 2);
+        // Unknown PFs are absorbed as counters.
+        assert_eq!(r.nic.pf_epoch(PfId(9)), 0);
+        r.nic.set_pf_epoch(PfId(9), 5);
+        assert!(r.nic.counters().invalid_refs >= 2);
     }
 
     #[test]

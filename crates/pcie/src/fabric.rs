@@ -74,6 +74,10 @@ pub struct FabricCounters {
     pub issued_txns: u64,
     /// Transactions that completed successfully.
     pub ok_txns: u64,
+    /// Surprise hot-removals observed by the fabric.
+    pub hot_removals: u64,
+    /// Re-enumerations (slot power-up + retrain) observed by the fabric.
+    pub reenumerations: u64,
 }
 
 #[derive(Debug)]
@@ -86,6 +90,14 @@ struct Endpoint {
     upstream: BwLink,
     /// Host → device direction (DMA read completions, MMIO).
     downstream: BwLink,
+    /// Physically in the slot. Surprise removal clears this; transactions
+    /// against an absent endpoint drop (and count) like a Down link.
+    present: bool,
+    /// Device epoch, bumped on every surprise removal *and* every
+    /// re-enumeration. Completions and interrupts are stamped with the
+    /// epoch at issue time; the driver fences anything stamped with an
+    /// older epoch than the endpoint's current one.
+    epoch: u64,
 }
 
 /// All PCIe endpoints in the machine.
@@ -111,6 +123,8 @@ pub struct PcieFabric {
     /// Transactions rejected for an unknown endpoint (subset of
     /// `invalid_refs`, which also counts non-transaction lookups).
     invalid_txns: u64,
+    hot_removals: u64,
+    reenumerations: u64,
 }
 
 impl PcieFabric {
@@ -125,6 +139,8 @@ impl PcieFabric {
             issued_txns: 0,
             ok_txns: 0,
             invalid_txns: 0,
+            hot_removals: 0,
+            reenumerations: 0,
         }
     }
 
@@ -139,6 +155,8 @@ impl PcieFabric {
             state: LinkState::Up,
             upstream: BwLink::new(format!("pcie{}-up", id.0), bps, self.cfg.link_latency),
             downstream: BwLink::new(format!("pcie{}-down", id.0), bps, self.cfg.link_latency),
+            present: true,
+            epoch: 0,
         });
         id
     }
@@ -168,7 +186,8 @@ impl PcieFabric {
         Some(self.ep(pf)?.state)
     }
 
-    /// Applies a link-level fault event at `now`. PF-level faults
+    /// Applies a link-level fault event at `now`, including hotplug
+    /// (`SurpriseRemove`/`Reenumerate`). PF-level faults
     /// (`PfFail`/`PfRecover`/`IrqLoss`) are the device's concern and are
     /// ignored here. Returns `false` (counted) for an unknown endpoint.
     pub fn apply_link_fault(&mut self, now: Time, pf: PfId, kind: FaultKind) -> bool {
@@ -182,6 +201,8 @@ impl PcieFabric {
                 self.link_degrade(now, pf, lanes, gen)
             }
             FaultKind::LinkRecover => self.link_recover(now, pf),
+            FaultKind::SurpriseRemove => self.surprise_remove(pf),
+            FaultKind::Reenumerate => self.reenumerate(now, pf),
             _ => true,
         }
     }
@@ -237,6 +258,64 @@ impl PcieFabric {
             }
             None => false,
         }
+    }
+
+    /// Surprise hot-removal of the endpoint behind `pf`: the device vanishes
+    /// from the slot and its epoch retires. Every future transaction drops
+    /// (and counts) until [`reenumerate`](Self::reenumerate); completions the
+    /// device produced under the old epoch are the driver's to fence.
+    /// Idempotent on an already-absent endpoint (the epoch bumps only on the
+    /// present→absent transition). Returns `false` for an unknown endpoint.
+    pub fn surprise_remove(&mut self, pf: PfId) -> bool {
+        match self.ep_mut(pf) {
+            Some(ep) => {
+                if ep.present {
+                    ep.present = false;
+                    ep.state = LinkState::Down;
+                    ep.epoch += 1;
+                    self.hot_removals += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-enumerates the endpoint behind `pf` after a surprise removal: slot
+    /// power-up, link retrain at the configured width/speed (paying
+    /// `retrain_latency` of downtime), and a fresh device epoch. Idempotent
+    /// on a present endpoint. Returns `false` for an unknown endpoint.
+    pub fn reenumerate(&mut self, now: Time, pf: PfId) -> bool {
+        let retrain = self.cfg.retrain_latency;
+        match self.ep_mut(pf) {
+            Some(ep) => {
+                if !ep.present {
+                    let bps = ep.configured.bytes_per_sec();
+                    ep.present = true;
+                    ep.state = LinkState::Up;
+                    ep.epoch += 1;
+                    ep.upstream.set_bytes_per_sec(bps);
+                    ep.downstream.set_bytes_per_sec(bps);
+                    ep.upstream.stall_until(now + retrain);
+                    ep.downstream.stall_until(now + retrain);
+                    self.retrains += 1;
+                    self.reenumerations += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the endpoint behind `pf` is physically present (unknown ids
+    /// return `false`, counted).
+    pub fn present(&self, pf: PfId) -> bool {
+        self.ep(pf).is_some_and(|ep| ep.present)
+    }
+
+    /// The current device epoch of `pf`, or `None` for an unknown id.
+    pub fn epoch(&self, pf: PfId) -> Option<u64> {
+        Some(self.ep(pf)?.epoch)
     }
 
     /// Device-initiated DMA write: `len` bytes from the device into memory
@@ -348,6 +427,8 @@ impl PcieFabric {
             retrains: self.retrains,
             issued_txns: self.issued_txns,
             ok_txns: self.ok_txns,
+            hot_removals: self.hot_removals,
+            reenumerations: self.reenumerations,
         }
     }
 
@@ -366,6 +447,17 @@ impl PcieFabric {
                 format!(
                     "issued {} != ok {} + dropped {} + invalid {}",
                     self.issued_txns, self.ok_txns, self.dropped_txns, self.invalid_txns
+                )
+            },
+        );
+        a.check(
+            "pcie",
+            "hotplug-pairing",
+            self.reenumerations <= self.hot_removals,
+            || {
+                format!(
+                    "reenumerations {} exceed hot removals {}",
+                    self.reenumerations, self.hot_removals
                 )
             },
         );
@@ -638,7 +730,71 @@ mod tests {
         let mut a = Audit::new();
         fab.audit(&mut a);
         assert!(a.ok(), "{:?}", a.violations());
-        assert_eq!(a.checks(), 2);
+        assert_eq!(a.checks(), 3);
+    }
+
+    #[test]
+    fn surprise_remove_drops_txns_and_bumps_epoch() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        assert_eq!(fab.epoch(pfs[0]), Some(0));
+        assert!(fab.present(pfs[0]));
+        assert!(fab.surprise_remove(pfs[0]));
+        assert!(!fab.present(pfs[0]));
+        assert_eq!(fab.epoch(pfs[0]), Some(1));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Down));
+        // Transactions against the empty slot drop and count.
+        assert_eq!(fab.dma_write(Time::ZERO, pfs[0], &mut mem, buf, 1500), None);
+        assert_eq!(fab.interrupt(Time::ZERO, pfs[0], &mem, N0), None);
+        assert_eq!(fab.counters().dropped_txns, 2);
+        assert_eq!(fab.counters().hot_removals, 1);
+        // Removal is idempotent: no second epoch bump for a removed slot.
+        assert!(fab.surprise_remove(pfs[0]));
+        assert_eq!(fab.epoch(pfs[0]), Some(1));
+        assert_eq!(fab.counters().hot_removals, 1);
+        // The sibling PF is unaffected.
+        assert!(fab
+            .dma_write(Time::ZERO, pfs[1], &mut mem, buf, 1500)
+            .is_some());
+        let mut a = Audit::new();
+        fab.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn reenumerate_restores_service_behind_retrain_and_new_epoch() {
+        let (mut mem, mut fab, pfs) = setup();
+        let buf = mem.alloc(N0, 8192);
+        fab.surprise_remove(pfs[0]);
+        let t = Time::from_ms(1);
+        assert!(fab.reenumerate(t, pfs[0]));
+        assert!(fab.present(pfs[0]));
+        assert_eq!(fab.link_state(pfs[0]), Some(LinkState::Up));
+        // Removal and re-add each retire an epoch: 0 → 1 → 2.
+        assert_eq!(fab.epoch(pfs[0]), Some(2));
+        assert_eq!(fab.counters().reenumerations, 1);
+        // Re-enumeration is idempotent on a present slot.
+        assert!(fab.reenumerate(t, pfs[0]));
+        assert_eq!(fab.epoch(pfs[0]), Some(2));
+        // The first transaction waits out the retrain window.
+        let stalled = fab.dma_write(t, pfs[0], &mut mem, buf, 64).unwrap();
+        assert!(
+            stalled >= FabricConfig::default().retrain_latency,
+            "stalled={stalled} behind slot power-up retrain"
+        );
+        let mut a = Audit::new();
+        fab.audit(&mut a);
+        assert!(a.ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn unknown_endpoint_hotplug_is_counted_not_panicking() {
+        let (_, mut fab, _) = setup();
+        assert!(!fab.surprise_remove(PfId(9)));
+        assert!(!fab.reenumerate(Time::ZERO, PfId(9)));
+        assert!(!fab.present(PfId(9)));
+        assert_eq!(fab.epoch(PfId(9)), None);
+        assert!(fab.counters().invalid_refs >= 4);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct CampaignConfig {
     pub pair_chance: f64,
     /// Whether to include NVMe media faults in the kind mix.
     pub media_faults: bool,
+    /// Whether to include hotplug topology churn ([`FaultKind::
+    /// SurpriseRemove`] / [`FaultKind::Reenumerate`]) in the kind mix. The
+    /// hotplug indices are appended *after* every existing kind, so enabling
+    /// the flag never perturbs the plans a hotplug-free config generates.
+    pub hotplug: bool,
 }
 
 impl CampaignConfig {
@@ -66,6 +71,7 @@ impl CampaignConfig {
             burst_chance: 0.35,
             pair_chance: 0.6,
             media_faults: false,
+            hotplug: false,
         }
     }
 }
@@ -105,7 +111,10 @@ pub fn plan_for(cfg: &CampaignConfig, index: u64) -> FaultPlan {
         } else {
             rng.below(cfg.pf_count as u64) as usize
         };
-        let kinds = if cfg.media_faults { 7 } else { 6 };
+        // Hotplug indices are appended after every pre-existing kind so a
+        // hotplug-free config draws the exact RNG sequence it always did.
+        let base = if cfg.media_faults { 7u64 } else { 6 };
+        let kinds = base + if cfg.hotplug { 2 } else { 0 };
         let kind = match rng.below(kinds) {
             0 => FaultKind::LinkDown,
             1 => FaultKind::LinkDegrade {
@@ -116,9 +125,11 @@ pub fn plan_for(cfg: &CampaignConfig, index: u64) -> FaultPlan {
             3 => FaultKind::PfFail,
             4 => FaultKind::PfRecover,
             5 => FaultKind::IrqLoss,
-            _ => FaultKind::MediaFault {
+            6 if cfg.media_faults => FaultKind::MediaFault {
                 errors: 1 + rng.below(3) as u8,
             },
+            k if k == base => FaultKind::SurpriseRemove,
+            _ => FaultKind::Reenumerate,
         };
         plan.push(at, pf, kind);
         placed += 1;
@@ -128,6 +139,7 @@ pub fn plan_for(cfg: &CampaignConfig, index: u64) -> FaultPlan {
             FaultKind::LinkDown => Some(FaultKind::LinkRecover),
             FaultKind::LinkDegrade { .. } => Some(FaultKind::LinkRecover),
             FaultKind::PfFail => Some(FaultKind::PfRecover),
+            FaultKind::SurpriseRemove => Some(FaultKind::Reenumerate),
             _ => None,
         };
         if let Some(rk) = recover {
@@ -325,6 +337,63 @@ mod tests {
         };
         assert!(has_media(&with));
         assert!(!has_media(&without));
+    }
+
+    #[test]
+    fn hotplug_only_when_enabled() {
+        let mut with = cfg(0xdef);
+        with.hotplug = true;
+        let without = cfg(0xdef);
+        let has_hotplug = |c: &CampaignConfig| {
+            (0..100).any(|i| {
+                plan_for(c, i)
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e.kind, FaultKind::SurpriseRemove | FaultKind::Reenumerate))
+            })
+        };
+        assert!(has_hotplug(&with));
+        assert!(!has_hotplug(&without));
+    }
+
+    #[test]
+    fn hotplug_flag_never_perturbs_legacy_plans() {
+        // Appending the hotplug kinds must leave every plan a hotplug-free
+        // config generates bit-identical: existing BENCH baselines depend
+        // on it.
+        let old = cfg(0x10c7);
+        let mut media = cfg(0x10c7);
+        media.media_faults = true;
+        for c in [old, media] {
+            for i in 0..50 {
+                let p = plan_for(&c, i);
+                assert!(!p
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e.kind, FaultKind::SurpriseRemove | FaultKind::Reenumerate)));
+            }
+        }
+    }
+
+    #[test]
+    fn surprise_remove_pairs_with_reenumerate() {
+        let mut c = cfg(0xbeef);
+        c.hotplug = true;
+        c.pair_chance = 1.0;
+        let mut paired = 0;
+        for i in 0..400 {
+            let p = plan_for(&c, i);
+            for (j, e) in p.events().iter().enumerate() {
+                if e.kind == FaultKind::SurpriseRemove
+                    && p.events()[j + 1..]
+                        .iter()
+                        .any(|r| r.pf == e.pf && r.kind == FaultKind::Reenumerate)
+                {
+                    paired += 1;
+                }
+            }
+        }
+        assert!(paired > 0, "no SurpriseRemove/Reenumerate pair generated");
     }
 
     #[test]

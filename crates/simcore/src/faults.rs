@@ -48,6 +48,17 @@ pub enum FaultKind {
         /// Consecutive commands that fail before the media heals.
         errors: u8,
     },
+    /// Surprise hot-removal: the endpoint vanishes from the fabric without
+    /// warning. Its device epoch is retired — completions and interrupts
+    /// stamped with the old epoch are *fenced* (counted, never delivered) —
+    /// and the driver must quiesce, drain, and rebind onto a surviving PF
+    /// (legacy NUDMA mode when only one remains).
+    SurpriseRemove,
+    /// The removed endpoint re-enumerates: slot power-up plus link retrain
+    /// latency, then a fresh device epoch. The driver rebinds rings and
+    /// reinstalls steering behind the same fence, restoring uniform
+    /// IOctopus mode.
+    Reenumerate,
 }
 
 /// One scheduled fault: `kind` applied to PF index `pf` at time `at`.

@@ -26,7 +26,14 @@ const HASH_WRAPPER_FILE: &str = "crates/simcore/src/hash.rs";
 const HOT_FNS: [(&str, &[&str]); 4] = [
     (
         "crates/kernel/src/host.rs",
-        &["irq", "wire_arrival", "recv"],
+        &[
+            "irq",
+            "irq_stamped",
+            "wire_arrival",
+            "recv",
+            "drain_fenced",
+            "release_tx_entry",
+        ],
     ),
     (
         "crates/ioctopus/src/netloop.rs",

@@ -135,7 +135,7 @@ fn sendfile_zero_copy_accounting_and_backpressure() {
     assert_eq!(wire_bytes, total);
     // Completions release the inflight accounting.
     for o in &outs {
-        if let HostOut::Irq { at, queue } = o {
+        if let HostOut::Irq { at, queue, .. } = o {
             irq(&mut duplex.server, *at + Dur::from_ms(1), *queue);
         }
     }
@@ -168,14 +168,17 @@ fn pf_failure_mid_stream_keeps_delivering() {
     let outs = wire(&mut duplex.server, Time::from_us(10), flow, 1448, 0);
     assert!(!outs.is_empty(), "healthy path delivers");
     for o in &outs {
-        if let HostOut::Irq { at, queue } = o {
+        if let HostOut::Irq { at, queue, .. } = o {
             irq(&mut duplex.server, *at, *queue);
         }
     }
     let pf0 = duplex.server_pfs[0];
-    duplex
-        .server
-        .apply_fault(Time::from_us(50), pf0, FaultKind::PfFail);
+    {
+        let mut out = OutBuf::new();
+        duplex
+            .server
+            .apply_fault(Time::from_us(50), pf0, FaultKind::PfFail, &mut out);
+    }
     assert!(
         duplex.server.nic.counters().resteered_flows >= 1,
         "firmware moved the flow to the survivor"
@@ -189,7 +192,7 @@ fn pf_failure_mid_stream_keeps_delivering() {
             seq,
         );
         for o in &outs {
-            if let HostOut::Irq { at, queue } = o {
+            if let HostOut::Irq { at, queue, .. } = o {
                 irq(&mut duplex.server, *at, *queue);
             }
         }
@@ -229,23 +232,27 @@ fn link_degrade_slows_dma_but_loses_nothing() {
     let outs = wire(&mut duplex.server, t1, flow, 1448, 0);
     let healthy = irq_delta(&outs, t1);
     for o in &outs {
-        if let HostOut::Irq { at, queue } = o {
+        if let HostOut::Irq { at, queue, .. } = o {
             irq(&mut duplex.server, *at, *queue);
         }
     }
     // Gen3 x4 ≈ 1/8th of the healthy link; retraining stalls 20 us, long
     // over by the next arrival.
     let pf0 = duplex.server_pfs[0];
-    duplex.server.apply_fault(
-        Time::from_us(100),
-        pf0,
-        FaultKind::LinkDegrade { lanes: 4, gen: 3 },
-    );
+    {
+        let mut out = OutBuf::new();
+        duplex.server.apply_fault(
+            Time::from_us(100),
+            pf0,
+            FaultKind::LinkDegrade { lanes: 4, gen: 3 },
+            &mut out,
+        );
+    }
     let t2 = Time::from_us(500);
     let outs = wire(&mut duplex.server, t2, flow, 1448, 1);
     let degraded = irq_delta(&outs, t2);
     for o in &outs {
-        if let HostOut::Irq { at, queue } = o {
+        if let HostOut::Irq { at, queue, .. } = o {
             irq(&mut duplex.server, *at, *queue);
         }
     }
@@ -268,9 +275,12 @@ fn lost_interrupt_recovers_via_watchdog() {
     let flow = FlowTuple::tcp(0x0A00_0001, 906, 0x0A00_0002, 80);
     let sock = duplex.server.open_socket(Time::ZERO, th, flow, NetdevId(0));
     let pf0 = duplex.server_pfs[0];
-    duplex
-        .server
-        .apply_fault(Time::from_us(5), pf0, FaultKind::IrqLoss);
+    {
+        let mut out = OutBuf::new();
+        duplex
+            .server
+            .apply_fault(Time::from_us(5), pf0, FaultKind::IrqLoss, &mut out);
+    }
     let outs = wire(&mut duplex.server, Time::from_us(10), flow, 1448, 0);
     assert!(
         !outs.iter().any(|o| matches!(o, HostOut::Irq { .. })),
@@ -289,7 +299,7 @@ fn lost_interrupt_recovers_via_watchdog() {
     let outs: Vec<HostOut> = out.drain().collect();
     let mut polled = false;
     for o in &outs {
-        if let HostOut::Irq { at, queue } = o {
+        if let HostOut::Irq { at, queue, .. } = o {
             irq(&mut duplex.server, *at, *queue);
             polled = true;
         }
