@@ -18,14 +18,19 @@ pub fn header(fig: &str, caption: &str) {
 }
 
 /// Prints the closing footer with wall-clock cost and the self-profiled
-/// event throughput since the header (drains the process-wide counter via
-/// [`ioctopus::perf::take_events`]).
+/// event throughput since the header. Drains the metrics registry's run
+/// accounting ([`telemetry::registry::take_run_stats`]) — the same cells
+/// the experiment runners credit through `ioctopus::perf` and that
+/// `perf_baseline` renders into the baseline JSON, so every consumer
+/// reports from one source.
 pub fn footer(started: Instant) {
     let secs = started.elapsed().as_secs_f64();
-    let events = ioctopus::perf::take_events();
-    let audits = ioctopus::perf::take_audits();
-    let fenced = ioctopus::perf::take_fenced();
-    let reconfigs = ioctopus::perf::take_reconfigs();
+    let telemetry::registry::RunStats {
+        events,
+        audits,
+        fenced,
+        reconfigs,
+    } = telemetry::registry::take_run_stats();
     let checks = if audits > 0 && secs > 0.0 {
         format!(" | {:.1}M checks/s", audits as f64 / 1e6 / secs)
     } else {

@@ -30,7 +30,7 @@ use simcore::{Dur, FaultKind, FaultPlan, Time};
 use crate::config::{BuildOpts, Placement};
 use crate::experiments::pf_rates;
 use crate::netloop::{make_rx_stream, App, NetLoop};
-use crate::results::{PfSample, ReconfigResult};
+use crate::results::{LocalityWindow, PfSample, ReconfigResult};
 use crate::system::build_duplex;
 
 /// Total simulated duration.
@@ -57,13 +57,23 @@ pub fn run() -> ReconfigResult {
     let mut nl = NetLoop::new(duplex);
     let i = nl.add_app(App::Rx(app));
     nl.enable_sampling(SAMPLE_EVERY);
+    nl.enable_flight_recorder(16);
     let mut plan = FaultPlan::new();
     plan.push(Time::ZERO + REMOVE_AT, 0, FaultKind::SurpriseRemove);
     plan.push(Time::ZERO + READD_AT, 0, FaultKind::Reenumerate);
     nl.install_fault_plan(&plan, WATCHDOG_EVERY);
     nl.start_apps(Time::ZERO);
+    // Pause at the phase boundaries to read the flight recorder and the
+    // interconnect meter; windowed differences expose the NUDMA interval.
+    let at_start = pause(&nl);
+    nl.run(Time::ZERO + REMOVE_AT);
+    let at_remove = pause(&nl);
+    nl.run(Time::ZERO + READD_AT);
+    let at_readd = pause(&nl);
     nl.run(Time::ZERO + TOTAL);
     crate::perf::note_events(nl.events_processed());
+    let at_end = pause(&nl);
+    let locality = at_end.table.clone();
 
     let consumed = match nl.app(i) {
         App::Rx(a) => a.consumed,
@@ -103,6 +113,33 @@ pub fn run() -> ReconfigResult {
         dropped_pf_dead: nic.dropped_pf_dead,
         resteered_flows: nic.resteered_flows,
         consumed,
+        locality_healthy: window(&at_start, &at_remove),
+        locality_nudma: window(&at_remove, &at_readd),
+        locality_recovered: window(&at_readd, &at_end),
+        locality,
+    }
+}
+
+/// Cumulative telemetry reading at one pause point of the segmented run.
+struct Pause {
+    table: telemetry::LocalityTable,
+    interconnect_bytes: u64,
+}
+
+fn pause(nl: &NetLoop) -> Pause {
+    Pause {
+        table: nl.flight_table().expect("flight recorder enabled"),
+        interconnect_bytes: nl.duplex.server.mem.counters().interconnect_bytes,
+    }
+}
+
+/// Windowed difference between two pause points.
+fn window(from: &Pause, to: &Pause) -> LocalityWindow {
+    LocalityWindow {
+        dma: to.table.totals.since(&from.table.totals),
+        home_pf: to.table.pf_cells(0).since(&from.table.pf_cells(0)),
+        survivor_pf: to.table.pf_cells(1).since(&from.table.pf_cells(1)),
+        interconnect_bytes: to.interconnect_bytes - from.interconnect_bytes,
     }
 }
 
@@ -175,6 +212,62 @@ mod tests {
             r.readd_to_home_us
         );
         assert!(r.consumed > 0);
+    }
+
+    #[test]
+    fn flight_ledger_exposes_the_nudma_window() {
+        let r = run();
+        let h = &r.locality_healthy;
+        let n = &r.locality_nudma;
+        let v = &r.locality_recovered;
+        // Healthy window: uniform IOctopus mode — the home PF carries
+        // everything, every DMA byte stays node-local.
+        assert!(h.dma.local_bytes() > 0);
+        assert_eq!(h.dma.remote_bytes(), 0, "uniform mode: no remote DMA");
+        assert_eq!(
+            h.survivor_pf.local_bytes() + h.survivor_pf.remote_bytes(),
+            0
+        );
+        // Outage window: the ledger shows the flow living on the survivor
+        // PF (the home PF's rows stop moving)...
+        let n_total = n.dma.local_bytes() + n.dma.remote_bytes();
+        let n_survivor = n.survivor_pf.local_bytes() + n.survivor_pf.remote_bytes();
+        assert!(n_total > 0, "stream stayed alive through the outage");
+        assert!(
+            n_survivor as f64 > 0.99 * n_total as f64,
+            "survivor carries the NUDMA window: {n_survivor}/{n_total}"
+        );
+        // ...and the node-0 application pays for its node-1 buffers on the
+        // CPU side: interconnect traffic is an order of magnitude above
+        // the healthy window's.
+        assert!(
+            n.interconnect_bytes > 10 * h.interconnect_bytes.max(1),
+            "NUDMA interconnect {} vs healthy {}",
+            n.interconnect_bytes,
+            h.interconnect_bytes
+        );
+        // Recovered window: the home PF dominates again and the
+        // interconnect rate falls back (windows are 3 ms / 4 ms wide).
+        let v_total = v.dma.local_bytes() + v.dma.remote_bytes();
+        let v_home = v.home_pf.local_bytes() + v.home_pf.remote_bytes();
+        assert!(
+            v_home as f64 > 0.7 * v_total as f64,
+            "home PF carries the recovered window: {v_home}/{v_total}"
+        );
+        assert!(
+            v.interconnect_bytes / 4 < n.interconnect_bytes / 6,
+            "interconnect rate halves after restore: {} vs {}",
+            v.interconnect_bytes,
+            n.interconnect_bytes
+        );
+        // The full-run table shows the flow's footprint on both PFs.
+        assert!(
+            r.locality.rows.iter().any(|row| row.pf == 0)
+                && r.locality.rows.iter().any(|row| row.pf == 1),
+            "ledger has rows on both PFs:\n{}",
+            r.locality.render()
+        );
+        assert_eq!(r.locality.overflow_rows, 0);
     }
 
     #[test]

@@ -14,9 +14,46 @@ use crate::system::build_duplex;
 
 use super::{gbps, Window};
 
+/// Telemetry artifacts harvested from a traced experiment run: the merged
+/// trace set, the NUMA-locality ledger, and the per-run metric snapshot.
+#[derive(Debug)]
+pub struct RunTelemetry {
+    /// Harvested tracer rings (NIC + kernel domains).
+    pub trace: telemetry::TraceSet,
+    /// The NIC's per-flow/per-PF DMA locality table.
+    pub locality: telemetry::LocalityTable,
+    /// Sorted per-run component metrics.
+    pub metrics: telemetry::Snapshot,
+}
+
+/// Flight-recorder row capacity for the streaming experiments (flow × PF
+/// cardinality is tiny; generous headroom regardless).
+const FLIGHT_ROWS: usize = 64;
+
 /// Runs single-core TCP Rx at `msg`-byte buffers for `sim_ms` simulated
 /// milliseconds.
 pub fn run_rx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
+    run_rx_inner(p, msg, sim_ms, None).0
+}
+
+/// [`run_rx`] with telemetry enabled: tracing into rings of `trace_cap`
+/// records plus the NUMA-locality flight recorder.
+pub fn run_rx_traced(
+    p: Placement,
+    msg: u64,
+    sim_ms: u64,
+    trace_cap: usize,
+) -> (ThroughputResult, RunTelemetry) {
+    let (r, t) = run_rx_inner(p, msg, sim_ms, Some(trace_cap));
+    (r, t.expect("telemetry was enabled"))
+}
+
+fn run_rx_inner(
+    p: Placement,
+    msg: u64,
+    sim_ms: u64,
+    trace_cap: Option<usize>,
+) -> (ThroughputResult, Option<RunTelemetry>) {
     let mut duplex = build_duplex(p, BuildOpts::default());
     let app = make_rx_stream(
         &mut duplex,
@@ -28,6 +65,10 @@ pub fn run_rx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
         4242,
     );
     let mut nl = NetLoop::new(duplex);
+    if let Some(cap) = trace_cap {
+        nl.enable_tracing(cap);
+        nl.enable_flight_recorder(FLIGHT_ROWS);
+    }
     let i = nl.add_app(App::Rx(app));
     nl.start_apps(Time::ZERO);
 
@@ -46,7 +87,7 @@ pub fn run_rx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
         _ => unreachable!(),
     };
     let cores = nl.duplex.server.mem.topology().total_cores();
-    ThroughputResult {
+    let result = ThroughputResult {
         config: p.label().to_string(),
         x: msg as f64,
         throughput_gbps: gbps(consumed, w),
@@ -57,14 +98,40 @@ pub fn run_rx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
             .cores
             .utilization_of(0..cores, w.warmup, w.end),
         rate_per_sec: consumed as f64 / msg as f64 / w.secs(),
-    }
+    };
+    let telem = harvest(&mut nl, trace_cap.is_some());
+    (result, telem)
 }
 
 /// Runs single-core TCP Tx (TSO) at `msg`-byte buffers.
 pub fn run_tx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
+    run_tx_inner(p, msg, sim_ms, None).0
+}
+
+/// [`run_tx`] with telemetry enabled (see [`run_rx_traced`]).
+pub fn run_tx_traced(
+    p: Placement,
+    msg: u64,
+    sim_ms: u64,
+    trace_cap: usize,
+) -> (ThroughputResult, RunTelemetry) {
+    let (r, t) = run_tx_inner(p, msg, sim_ms, Some(trace_cap));
+    (r, t.expect("telemetry was enabled"))
+}
+
+fn run_tx_inner(
+    p: Placement,
+    msg: u64,
+    sim_ms: u64,
+    trace_cap: Option<usize>,
+) -> (ThroughputResult, Option<RunTelemetry>) {
     let mut duplex = build_duplex(p, BuildOpts::default());
     let app = make_tx_stream(&mut duplex, p.app_core(), 0, NetdevId(0), msg, 4242);
     let mut nl = NetLoop::new(duplex);
+    if let Some(cap) = trace_cap {
+        nl.enable_tracing(cap);
+        nl.enable_flight_recorder(FLIGHT_ROWS);
+    }
     let i = nl.add_app(App::Tx(app));
     nl.start_apps(Time::ZERO);
 
@@ -83,7 +150,7 @@ pub fn run_tx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
         _ => unreachable!(),
     };
     let cores = nl.duplex.server.mem.topology().total_cores();
-    ThroughputResult {
+    let result = ThroughputResult {
         config: p.label().to_string(),
         x: msg as f64,
         throughput_gbps: gbps(consumed, w),
@@ -94,7 +161,21 @@ pub fn run_tx(p: Placement, msg: u64, sim_ms: u64) -> ThroughputResult {
             .cores
             .utilization_of(0..cores, w.warmup, w.end),
         rate_per_sec: consumed as f64 / msg as f64 / w.secs(),
+    };
+    let telem = harvest(&mut nl, trace_cap.is_some());
+    (result, telem)
+}
+
+/// Harvests the telemetry artifacts of a finished run, if enabled.
+fn harvest(nl: &mut NetLoop, enabled: bool) -> Option<RunTelemetry> {
+    if !enabled {
+        return None;
     }
+    Some(RunTelemetry {
+        locality: nl.flight_table().expect("flight recorder was enabled"),
+        metrics: nl.metrics_snapshot(),
+        trace: nl.take_trace(),
+    })
 }
 
 #[cfg(test)]

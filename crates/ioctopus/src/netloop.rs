@@ -345,6 +345,56 @@ impl NetLoop {
         self.q.audit(&mut self.audit);
     }
 
+    /// Enables sim-time tracing on the server stack: the kernel host's
+    /// ring (IRQ delivery, reconfiguration phases) and the NIC's ring
+    /// (steering decisions, DMA issue/land). `cap` records per ring, each
+    /// pre-sized here — the record path never allocates. Off by default.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.duplex.server.enable_tracing(cap);
+        self.duplex.server.nic.enable_tracing(cap);
+    }
+
+    /// Harvests every enabled tracer ring into a [`telemetry::TraceSet`]
+    /// (disabling tracing). The set's merged order is `(time, domain,
+    /// seq)` — independent of harvest order, so serial and parallel sweeps
+    /// export bit-identical artifacts.
+    pub fn take_trace(&mut self) -> telemetry::TraceSet {
+        let mut set = telemetry::TraceSet::new();
+        if let Some(r) = self.duplex.server.nic.take_trace() {
+            set.add(r);
+        }
+        if let Some(r) = self.duplex.server.take_trace() {
+            set.add(r);
+        }
+        set
+    }
+
+    /// Enables the NUMA-locality flight recorder on the server NIC with
+    /// room for `cap` distinct `(flow, PF)` rows. Off by default.
+    pub fn enable_flight_recorder(&mut self, cap: usize) {
+        self.duplex.server.nic.enable_flight_recorder(cap);
+    }
+
+    /// A sorted snapshot of the server NIC's locality ledger, if the
+    /// flight recorder is enabled.
+    pub fn flight_table(&self) -> Option<telemetry::LocalityTable> {
+        self.duplex.server.nic.flight_table()
+    }
+
+    /// Harvests a per-run metric snapshot from every server-side
+    /// component (kernel, NIC, PCIe fabric, memory system) plus the
+    /// loop's own dispatch accounting, sorted by label.
+    pub fn metrics_snapshot(&self) -> telemetry::Snapshot {
+        let mut s = telemetry::Snapshot::new();
+        self.duplex.server.publish_metrics(&mut s);
+        self.duplex.server.fabric.publish_metrics(&mut s);
+        self.duplex.server.mem.publish_metrics(&mut s);
+        s.push("net.events_processed", self.events_processed());
+        s.push("net.audit_checks", self.audit.checks());
+        s.sort();
+        s
+    }
+
     /// Schedules a thread migration (Figure 14's `sched_setaffinity`).
     pub fn schedule_migration(&mut self, at: Time, thread: ThreadId, core: usize) {
         self.q.push(at, Event::Migrate { thread, core });

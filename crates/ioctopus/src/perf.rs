@@ -1,89 +1,89 @@
 //! Self-profiling counters for the experiment runners.
 //!
 //! Every runner reports how many simulation events (or equivalent work
-//! units) it dispatched into a process-wide counter; the bench harnesses
-//! read it alongside wall-clock time to print an events/second figure and
-//! to emit the machine-readable perf baseline (`BENCH_2.json`). The counter
-//! is a relaxed atomic: cheap enough to bump once per *run* (not per
-//! event), safe under the parallel sweep.
+//! units) it dispatched; the bench harnesses read the totals alongside
+//! wall-clock time to print an events/second figure and to emit the
+//! machine-readable perf baseline (`BENCH_2.json`).
+//!
+//! Storage lives in the `telemetry` crate's process-wide metrics registry
+//! (under the well-known `sim.*` labels), so the human bench footer, the
+//! baseline JSON, and any other registry consumer all read the *same*
+//! cells — this module is a compatibility shim that keeps the established
+//! `note_*`/`take_*` API for the runners. The cells are relaxed atomics:
+//! cheap enough to bump once per *run* (not per event), safe under the
+//! parallel sweep.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static EVENTS: AtomicU64 = AtomicU64::new(0);
-static AUDITS: AtomicU64 = AtomicU64::new(0);
+use telemetry::registry::{run_counter, AUDITS, EVENTS, FENCED, RECONFIGS};
 
 /// Credits `n` simulation events to the process-wide counter. Runners call
 /// this once per simulation with their event loop's final count.
 pub fn note_events(n: u64) {
-    EVENTS.fetch_add(n, Ordering::Relaxed);
+    run_counter(EVENTS).add(n);
 }
 
 /// Total events credited since the process started (or since the last
 /// [`take_events`]).
 pub fn events() -> u64 {
-    EVENTS.load(Ordering::Relaxed)
+    run_counter(EVENTS).get()
 }
 
 /// Reads and resets the counter; returns the count at the moment of reset.
 /// Harnesses call this around each figure to attribute events per figure.
 pub fn take_events() -> u64 {
-    EVENTS.swap(0, Ordering::Relaxed)
+    run_counter(EVENTS).take()
 }
 
 /// Credits `n` invariant checks (individual [`simcore::Audit`] predicate
 /// evaluations) to the process-wide counter, so bench footers can report
 /// audit throughput alongside event throughput.
 pub fn note_audits(n: u64) {
-    AUDITS.fetch_add(n, Ordering::Relaxed);
+    run_counter(AUDITS).add(n);
 }
 
 /// Total invariant checks credited since the process started (or since the
 /// last [`take_audits`]).
 pub fn audits() -> u64 {
-    AUDITS.load(Ordering::Relaxed)
+    run_counter(AUDITS).get()
 }
 
 /// Reads and resets the invariant-check counter.
 pub fn take_audits() -> u64 {
-    AUDITS.swap(0, Ordering::Relaxed)
+    run_counter(AUDITS).take()
 }
-
-static FENCED: AtomicU64 = AtomicU64::new(0);
-static RECONFIGS: AtomicU64 = AtomicU64::new(0);
 
 /// Credits `n` epoch-fenced completions/interrupts (stale deliveries from a
 /// surprise-removed device, counted and discarded). Runners call this once
 /// per simulation from the host's robustness counters.
 pub fn note_fenced(n: u64) {
-    FENCED.fetch_add(n, Ordering::Relaxed);
+    run_counter(FENCED).add(n);
 }
 
 /// Total fenced deliveries credited since the process started (or since the
 /// last [`take_fenced`]).
 pub fn fenced() -> u64 {
-    FENCED.load(Ordering::Relaxed)
+    run_counter(FENCED).get()
 }
 
 /// Reads and resets the fenced-delivery counter.
 pub fn take_fenced() -> u64 {
-    FENCED.swap(0, Ordering::Relaxed)
+    run_counter(FENCED).take()
 }
 
 /// Credits `n` completed quiesce/drain/rebind reconfiguration sequences
 /// (hotplug transitions in either direction).
 pub fn note_reconfigs(n: u64) {
-    RECONFIGS.fetch_add(n, Ordering::Relaxed);
+    run_counter(RECONFIGS).add(n);
 }
 
 /// Total reconfigurations credited since the process started (or since the
 /// last [`take_reconfigs`]).
 pub fn reconfigs() -> u64 {
-    RECONFIGS.load(Ordering::Relaxed)
+    run_counter(RECONFIGS).get()
 }
 
 /// Reads and resets the reconfiguration counter.
 pub fn take_reconfigs() -> u64 {
-    RECONFIGS.swap(0, Ordering::Relaxed)
+    run_counter(RECONFIGS).take()
 }
 
 #[cfg(test)]
@@ -120,5 +120,18 @@ mod tests {
         assert!(reconfigs() >= 2);
         assert!(take_fenced() >= 3);
         assert!(take_reconfigs() >= 2);
+    }
+
+    #[test]
+    fn shares_cells_with_registry_run_stats() {
+        // The shim and telemetry::registry::take_run_stats drain the SAME
+        // storage: crediting through the shim must be visible to a
+        // registry drain.
+        let _ = telemetry::registry::take_run_stats();
+        note_events(11);
+        note_audits(4);
+        let stats = telemetry::registry::take_run_stats();
+        assert!(stats.events >= 11);
+        assert!(stats.audits >= 4);
     }
 }

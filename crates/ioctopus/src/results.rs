@@ -116,6 +116,35 @@ pub struct ReconfigResult {
     pub resteered_flows: u64,
     /// Bytes the server application consumed over the run.
     pub consumed: u64,
+    /// Flight-recorder reading over the healthy window (before the
+    /// removal): uniform IOctopus mode — the home PF carries everything
+    /// node-locally.
+    pub locality_healthy: LocalityWindow,
+    /// Reading over the outage window: legacy NUDMA mode. The survivor
+    /// PF's DMA stays local to *its* socket (failover lands the flow in
+    /// the survivor's own rings), so the nonuniformity shows up as the
+    /// per-PF shift in the ledger plus the CPU-side interconnect bytes the
+    /// node-0 application pays to reach node-1 buffers.
+    pub locality_nudma: LocalityWindow,
+    /// Reading after the re-enumeration: back to uniform IOctopus mode.
+    pub locality_recovered: LocalityWindow,
+    /// The full-run per-flow/per-PF locality table (shows the flow's rows
+    /// on both PFs as it moved away and back).
+    pub locality: telemetry::LocalityTable,
+}
+
+/// One phase window of the reconfiguration timeline as the flight
+/// recorder (plus the memory system's interconnect meter) saw it.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalityWindow {
+    /// DMA locality cells over the window, all PFs.
+    pub dma: telemetry::LedgerCells,
+    /// The home PF's (PF0) share of the window.
+    pub home_pf: telemetry::LedgerCells,
+    /// The survivor PF's (PF1) share of the window.
+    pub survivor_pf: telemetry::LedgerCells,
+    /// Socket-interconnect bytes (CPU- and DMA-side) over the window.
+    pub interconnect_bytes: u64,
 }
 
 /// Figure 13's co-location measurement.

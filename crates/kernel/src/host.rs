@@ -25,6 +25,8 @@ use nic::desc::{CQE_BYTES, DESC_BYTES};
 use nic::{FlowTuple, MacAddr, Nic, QueueConfig, QueueId, RxDesc, RxOutcome, TxDesc, TxOutcome};
 use pcie::{PcieFabric, PfId};
 use simcore::{Audit, Dur, FaultKind, FxHashMap, OutBuf, Time};
+use telemetry::trace::{Domain, TraceKind};
+use telemetry::{Snapshot, TraceRing};
 
 use crate::cores::Cores;
 use crate::netdev::{DriverModel, Netdev, NetdevId};
@@ -233,6 +235,9 @@ pub struct Host {
     /// Recycled scratch for NIC Tx doorbells so ringing one never
     /// allocates in steady state (the NIC clears it on entry).
     tx_scratch: TxOutcome,
+    /// Kernel-domain sim-time tracer (IRQ delivery, reconfiguration
+    /// phases), `None` unless enabled.
+    tracer: Option<TraceRing>,
 }
 
 impl Host {
@@ -403,6 +408,59 @@ impl Host {
             break_readd: false,
             robust: HostRobustness::default(),
             tx_scratch: TxOutcome::default(),
+            tracer: None,
+        }
+    }
+
+    /// Enables kernel-domain tracing (IRQ deliveries, reconfiguration
+    /// phase transitions) into a pre-sized ring of `cap` records. Off by
+    /// default; the record path is one branch when disabled.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracer = Some(TraceRing::new(Domain::Kernel, cap));
+    }
+
+    /// Takes the kernel tracer ring for harvest, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceRing> {
+        self.tracer.take()
+    }
+
+    /// Publishes the host's robustness counters — and the NIC's device
+    /// counters — into a per-run metric snapshot.
+    pub fn publish_metrics(&self, s: &mut Snapshot) {
+        let r = self.robust;
+        s.push("kernel.tx_error_completions", r.tx_error_completions);
+        s.push("kernel.watchdog_irq_recoveries", r.watchdog_irq_recoveries);
+        s.push("kernel.doorbells_lost", r.doorbells_lost);
+        s.push("kernel.doorbell_retries", r.doorbell_retries);
+        s.push("kernel.faults_applied", r.faults_applied);
+        s.push("kernel.steering_reinstalls", r.steering_reinstalls);
+        s.push(
+            "kernel.steering_reinstall_retries",
+            r.steering_reinstall_retries,
+        );
+        s.push("kernel.fenced_completions", r.fenced_completions);
+        s.push("kernel.fenced_irqs", r.fenced_irqs);
+        s.push("kernel.reconfigs", r.reconfigs);
+        s.push("kernel.nudma_entries", r.nudma_entries);
+        s.push("kernel.nudma_exits", r.nudma_exits);
+        s.push("kernel.rx_no_socket_drops", self.rx_no_socket_drops);
+        self.nic.publish_metrics(s);
+    }
+
+    /// Records one reconfiguration phase transition (no-op when tracing
+    /// is off). `phase`: 0 quiesce / 1 drain / 2 rebind; `mode`: 0
+    /// uniform IOctopus / 1 legacy NUDMA.
+    #[inline]
+    fn note_reconfig_phase(&mut self, now: Time, pf: PfId, phase: u64, epoch: u64, mode: u64) {
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceKind::ReconfigPhase,
+                pf.0 as u64,
+                phase,
+                epoch,
+                mode,
+            );
         }
     }
 
@@ -841,6 +899,16 @@ impl Host {
         if epoch < self.nic.pf_epoch(self.queue_pf[queue.0]) {
             self.robust.fenced_irqs += 1;
             return;
+        }
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceKind::IrqDelivered,
+                queue.0 as u64,
+                self.queue_irq_core[queue.0] as u64,
+                epoch,
+                0,
+            );
         }
         self.irq(now, queue, out);
     }
@@ -1335,10 +1403,14 @@ impl Host {
                     self.nic.set_pf_epoch(pf, e);
                 }
                 if self.nic.pf_epoch(pf) > old_epoch {
+                    let epoch = self.nic.pf_epoch(pf);
+                    let mode = (self.live_pf_count() == 1) as u64;
+                    self.note_reconfig_phase(now, pf, 0, epoch, mode);
                     // Phase 2 — drain: reap everything already visible on
                     // the removed PF's queues through the fence. Entries
                     // whose DMA has not landed yet stay put; they hit the
                     // same fence in `irq` as late completions.
+                    self.note_reconfig_phase(now, pf, 1, epoch, mode);
                     self.drain_fenced(now, pf, out);
                     // Phase 3 — rebind: MPFS default + per-flow fallback
                     // (inside `fail_pf`) already steer Rx through the
@@ -1346,6 +1418,7 @@ impl Host {
                     // send. One live PF left means every flow now crosses
                     // the interconnect: legacy NUDMA mode, degraded but
                     // alive.
+                    self.note_reconfig_phase(now, pf, 2, epoch, mode);
                     self.robust.reconfigs += 1;
                     if was_alive && self.live_pf_count() == 1 {
                         self.robust.nudma_entries += 1;
@@ -1364,8 +1437,11 @@ impl Host {
                 }
                 let advanced = self.nic.pf_epoch(pf) > old_epoch;
                 if advanced {
+                    let epoch = self.nic.pf_epoch(pf);
+                    self.note_reconfig_phase(now, pf, 0, epoch, was_nudma as u64);
                     // Drain: late completions that landed during the
                     // outage window.
+                    self.note_reconfig_phase(now, pf, 1, epoch, was_nudma as u64);
                     self.drain_fenced(now, pf, out);
                 }
                 // Rebind: revive the function and pull steering home —
@@ -1382,6 +1458,9 @@ impl Host {
                     self.steer_retry = RetryState::default();
                 }
                 if advanced {
+                    let epoch = self.nic.pf_epoch(pf);
+                    let mode = (self.live_pf_count() == 1) as u64;
+                    self.note_reconfig_phase(now, pf, 2, epoch, mode);
                     self.robust.reconfigs += 1;
                     if was_nudma && self.live_pf_count() > 1 {
                         self.robust.nudma_exits += 1;

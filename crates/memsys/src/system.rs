@@ -699,6 +699,22 @@ impl MemSystem {
         }
     }
 
+    /// Publishes the memory system's traffic counters into a per-run
+    /// metric snapshot.
+    pub fn publish_metrics(&self, s: &mut telemetry::Snapshot) {
+        let c = self.counters();
+        s.push(
+            "mem.dram_bytes",
+            c.dram_reads.iter().sum::<u64>() + c.dram_writes.iter().sum::<u64>(),
+        );
+        s.push("mem.interconnect_bytes", c.interconnect_bytes);
+        s.push("mem.llc_hits", c.llc_hits);
+        s.push("mem.llc_misses", c.llc_misses);
+        let (hits, misses) = self.memo_stats();
+        s.push("mem.stall_memo_hits", hits);
+        s.push("mem.stall_memo_misses", misses);
+    }
+
     /// Resets traffic counters at a measurement-window boundary.
     pub fn reset_counters(&mut self) {
         for d in &mut self.dram {

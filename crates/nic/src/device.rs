@@ -12,6 +12,8 @@ use std::cell::Cell;
 use memsys::{MemSystem, NodeId, PhysAddr};
 use pcie::{PcieFabric, PfId};
 use simcore::{Dur, Time};
+use telemetry::trace::{DdioOutcome, DmaRoute, Domain, TraceKind};
+use telemetry::{FlightRecorder, LocalityTable, Snapshot, TraceRing};
 
 use crate::desc::{Completion, RxDesc, TxDesc, CQE_BYTES, DESC_BYTES};
 use crate::flow::{FlowTuple, MacAddr};
@@ -210,6 +212,10 @@ pub struct Nic {
     home_default: PfId,
     counters: NicCounters,
     invalid_refs: Cell<u64>,
+    /// Sim-time tracer ring, `None` (one branch per site) unless enabled.
+    tracer: Option<TraceRing>,
+    /// NUMA-locality flight recorder, `None` unless enabled.
+    flight: Option<FlightRecorder>,
 }
 
 impl Nic {
@@ -235,6 +241,114 @@ impl Nic {
             home_default: default_pf,
             counters: NicCounters::default(),
             invalid_refs: Cell::new(0),
+            tracer: None,
+            flight: None,
+        }
+    }
+
+    /// Enables sim-time tracing into a pre-sized ring of `cap` records
+    /// (the one allocation tracing performs; the steady-state record path
+    /// stays alloc-free). Off by default.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracer = Some(TraceRing::new(Domain::Nic, cap));
+    }
+
+    /// Takes the tracer ring for harvest, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceRing> {
+        self.tracer.take()
+    }
+
+    /// Enables the NUMA-locality flight recorder with room for `cap`
+    /// distinct `(flow, PF)` rows. Off by default.
+    pub fn enable_flight_recorder(&mut self, cap: usize) {
+        self.flight = Some(FlightRecorder::new(cap));
+    }
+
+    /// A sorted snapshot of the locality ledger, if recording is enabled.
+    pub fn flight_table(&self) -> Option<LocalityTable> {
+        self.flight.as_ref().map(|f| f.table())
+    }
+
+    /// Publishes the device's counters into a per-run metric snapshot.
+    pub fn publish_metrics(&self, s: &mut Snapshot) {
+        let c = self.counters();
+        s.push("nic.error_completions", c.error_completions);
+        s.push("nic.resteered_flows", c.resteered_flows);
+        s.push("nic.dropped_pf_dead", c.dropped_pf_dead);
+        s.push("nic.lost_irqs", c.lost_irqs);
+        s.push("nic.invalid_refs", c.invalid_refs);
+        s.push("nic.pf_fails", c.pf_fails);
+        s.push("nic.pf_recoveries", c.pf_recoveries);
+        s.push("nic.rx.dropped", self.rx_dropped);
+        s.push("nic.rx.no_buffer", self.rx_no_buffer);
+        s.push("nic.rx.bytes", self.rx_bytes_per_pf.iter().sum());
+        s.push("nic.tx.bytes", self.tx_bytes_per_pf.iter().sum());
+        if let Some(fr) = &self.flight {
+            let t = fr.table();
+            s.push("nic.dma.local_bytes", t.totals.local_bytes());
+            s.push("nic.dma.remote_bytes", t.totals.remote_bytes());
+            s.push("nic.dma.ddio_hits", t.totals.ddio_hits);
+            s.push("nic.dma.ddio_misses", t.totals.ddio_misses);
+            s.push("nic.dma.qpi_crossings", t.totals.qpi_crossings);
+        }
+    }
+
+    /// Whether any telemetry sink wants per-DMA notifications (hot-path
+    /// guard: one load per packet when everything is off).
+    #[inline]
+    fn telemetry_on(&self) -> bool {
+        self.tracer.is_some() || self.flight.is_some()
+    }
+
+    /// Feeds one DMA transaction to the enabled telemetry sinks. The NIC
+    /// is the one component that knows the flow, the PF, *and* the target
+    /// address at the same time, so locality is classified here:
+    /// `local` means the PF's I/O controller and the address's home node
+    /// coincide; DDIO applies to payload writes only.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn note_dma(
+        &mut self,
+        now: Time,
+        flow: u64,
+        pf: PfId,
+        dev_node: Option<NodeId>,
+        addr: PhysAddr,
+        bytes: u64,
+        write: bool,
+        payload: bool,
+        ddio_on: bool,
+        d: Dur,
+    ) {
+        let home = addr.home();
+        let local = dev_node == Some(home);
+        let ddio_hit = if write && payload {
+            Some(local && ddio_on)
+        } else {
+            None
+        };
+        if let Some(fr) = &mut self.flight {
+            fr.record_dma(flow, pf.0 as u32, bytes, write, local, ddio_hit);
+        }
+        if let Some(tr) = &mut self.tracer {
+            let dev = dev_node.map_or(0, |n| n.0 as u8);
+            let route = DmaRoute {
+                pf: pf.0 as u8,
+                src_node: if write { dev } else { home.0 as u8 },
+                dst_node: if write { home.0 as u8 } else { dev },
+                local,
+                ddio: match ddio_hit {
+                    Some(true) => DdioOutcome::Hit,
+                    Some(false) => DdioOutcome::Miss,
+                    None => DdioOutcome::NotApplicable,
+                },
+            };
+            let kind = if write {
+                TraceKind::DmaWrite
+            } else {
+                TraceKind::DmaRead
+            };
+            tr.push(now, kind, flow, route.pack(), (now + d).as_ps(), bytes);
         }
     }
 
@@ -574,6 +688,9 @@ impl Nic {
             return;
         }
         let epoch = self.pf_epoch[pf.0];
+        let telem = self.telemetry_on();
+        let ddio_on = mem.ddio();
+        let dev_node = if telem { fabric.node_of(pf) } else { None };
         // The engine is pipelined: it spends `processing_delay` of occupancy
         // per descriptor while the DMA latencies of consecutive packets
         // overlap (bandwidth is still serialized inside the PCIe links).
@@ -582,6 +699,7 @@ impl Nic {
 
         while let Some((slot_addr, desc)) = self.queues[q.0].tx_ring.consume() {
             engine += self.cfg.processing_delay;
+            let fkey = if telem { desc.flow.key() } else { 0 };
             // Fetch the work descriptor from host memory. Bandwidth is
             // reserved at the doorbell's event time: feeding chained
             // (future) completion times back into shared-link FIFOs would
@@ -590,21 +708,43 @@ impl Nic {
             // Any DMA on the path returning `None` means the link under the
             // PF is down: the descriptor completes with error status and
             // the drain continues — later descriptors fail the same way.
-            let fetched = fabric
-                .dma_read(reserve_at, pf, mem, slot_addr, DESC_BYTES)
-                .and_then(|d_desc| {
-                    // Read the payload. IOctoSG (§3.3): fragments may carry
-                    // a PF hint so cross-node payloads are fetched through
-                    // the local PF. FIFO on the link: slowest component
-                    // bounds readiness.
-                    let mut slowest = d_desc;
-                    for frag in &desc.fragments {
-                        let frag_pf = frag.pf_hint.unwrap_or(pf);
-                        let d = fabric.dma_read(reserve_at, frag_pf, mem, frag.addr, frag.len)?;
-                        slowest = slowest.max(d);
+            let fetched = 'fetch: {
+                let Some(d_desc) = fabric.dma_read(reserve_at, pf, mem, slot_addr, DESC_BYTES)
+                else {
+                    break 'fetch None;
+                };
+                if telem {
+                    self.note_dma(
+                        reserve_at, fkey, pf, dev_node, slot_addr, DESC_BYTES, false, false,
+                        ddio_on, d_desc,
+                    );
+                }
+                // Read the payload. IOctoSG (§3.3): fragments may carry
+                // a PF hint so cross-node payloads are fetched through
+                // the local PF. FIFO on the link: slowest component
+                // bounds readiness.
+                let mut slowest = d_desc;
+                for frag in &desc.fragments {
+                    let frag_pf = frag.pf_hint.unwrap_or(pf);
+                    let Some(d) = fabric.dma_read(reserve_at, frag_pf, mem, frag.addr, frag.len)
+                    else {
+                        break 'fetch None;
+                    };
+                    if telem {
+                        let frag_node = if frag_pf == pf {
+                            dev_node
+                        } else {
+                            fabric.node_of(frag_pf)
+                        };
+                        self.note_dma(
+                            reserve_at, fkey, frag_pf, frag_node, frag.addr, frag.len, false, true,
+                            ddio_on, d,
+                        );
                     }
-                    Some(slowest)
-                });
+                    slowest = slowest.max(d);
+                }
+                Some(slowest)
+            };
             let Some(slowest) = fetched else {
                 Self::post_error_completion(&mut self.queues[q.0], &desc, engine, epoch);
                 self.counters.error_completions += 1;
@@ -638,7 +778,15 @@ impl Nic {
                 continue;
             };
             let cqe_done = match fabric.dma_write(reserve_at, pf, mem, cq_slot, CQE_BYTES) {
-                Some(d) => t + d,
+                Some(d) => {
+                    if telem {
+                        self.note_dma(
+                            reserve_at, fkey, pf, dev_node, cq_slot, CQE_BYTES, true, false,
+                            ddio_on, d,
+                        );
+                    }
+                    t + d
+                }
                 // Link died between payload fetch and CQE write: the packet
                 // reached the wire but its completion never lands; firmware
                 // synthesizes an error CQE for the watchdog to find.
@@ -754,6 +902,18 @@ impl Nic {
             let qq = &self.queues[q.0];
             (qq.cfg.pf, qq.cfg.irq_core, qq.cfg.node)
         };
+        let telem = self.telemetry_on();
+        let fkey = if telem { flow.key() } else { 0 };
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceKind::FlowSteered,
+                fkey,
+                qpf.0 as u64,
+                q.0 as u64,
+                (pf != steered) as u64,
+            );
+        }
         // Pipelined Rx engine: `processing_delay` of per-packet occupancy;
         // descriptor prefetch + payload/CQE DMA latencies overlap across
         // packets (bandwidth still serializes inside the PCIe links).
@@ -781,13 +941,31 @@ impl Nic {
             .rx_cq
             .next_slot_addr()
             .expect("Rx CQ sized to ring; cannot overrun");
-        let dmas = fabric
-            .dma_read(now, qpf, mem, rx_slot, DESC_BYTES)
-            .and_then(|d_desc| {
-                let d_payload = fabric.dma_write(now, qpf, mem, buf.addr, payload)?;
-                let d_cqe = fabric.dma_write(now, qpf, mem, cq_slot, CQE_BYTES)?;
-                Some(d_desc.max(d_payload).max(d_cqe))
-            });
+        let dev_node = if telem { fabric.node_of(qpf) } else { None };
+        let ddio_on = mem.ddio();
+        let dmas = 'dma: {
+            let Some(d_desc) = fabric.dma_read(now, qpf, mem, rx_slot, DESC_BYTES) else {
+                break 'dma None;
+            };
+            let Some(d_payload) = fabric.dma_write(now, qpf, mem, buf.addr, payload) else {
+                break 'dma None;
+            };
+            let Some(d_cqe) = fabric.dma_write(now, qpf, mem, cq_slot, CQE_BYTES) else {
+                break 'dma None;
+            };
+            if telem {
+                self.note_dma(
+                    now, fkey, qpf, dev_node, rx_slot, DESC_BYTES, false, false, ddio_on, d_desc,
+                );
+                self.note_dma(
+                    now, fkey, qpf, dev_node, buf.addr, payload, true, true, ddio_on, d_payload,
+                );
+                self.note_dma(
+                    now, fkey, qpf, dev_node, cq_slot, CQE_BYTES, true, false, ddio_on, d_cqe,
+                );
+            }
+            Some(d_desc.max(d_payload).max(d_cqe))
+        };
         let Some(slowest) = dmas else {
             self.rx_dropped += 1;
             self.queues[q.0].rx_bufs_lost += 1;
@@ -1338,6 +1516,80 @@ mod tests {
         );
         assert!(out.packets.is_empty() && out.completions.is_empty());
         assert_eq!(r.nic.counters().invalid_refs, 8);
+    }
+
+    #[test]
+    fn flight_recorder_classifies_local_rx() {
+        let mut r = rig(SteeringMode::MacBased);
+        r.nic.enable_flight_recorder(16);
+        r.nic.enable_tracing(64);
+        let q0_ = r.q0;
+        post_buffers(&mut r, q0_, N0, 4);
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(0),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(matches!(out, RxOutcome::Delivered { .. }));
+        let t = r.nic.flight_table().expect("recorder enabled");
+        assert_eq!(t.remote_bytes(), 0, "node-0 buffers via the node-0 PF");
+        assert!(t.totals.local_write_bytes >= 1448);
+        assert_eq!(t.totals.qpi_crossings, 0);
+        assert_eq!(t.totals.ddio_hits, 1, "one payload write, DDIO absorbed");
+        let ring = r.nic.take_trace().expect("tracer enabled");
+        // FlowSteered + descriptor read + payload write + CQE write.
+        assert_eq!(ring.recorded(), 4);
+    }
+
+    #[test]
+    fn flight_recorder_sees_remote_rx_dma() {
+        let mut r = rig(SteeringMode::MacBased);
+        r.nic.enable_flight_recorder(16);
+        // Queue q1 rides PF1 (node 1) but gets node-0 buffers: every
+        // payload DMA crosses the socket.
+        let q1_ = r.q1;
+        post_buffers(&mut r, q1_, N0, 4);
+        let out = r.nic.on_wire_packet(
+            Time::ZERO,
+            MacAddr::local_admin(1),
+            flow(),
+            1448,
+            0,
+            &mut r.fab,
+            &mut r.mem,
+        );
+        assert!(matches!(out, RxOutcome::Delivered { .. }));
+        let t = r.nic.flight_table().expect("recorder enabled");
+        assert!(t.totals.remote_write_bytes >= 1448, "payload crossed QPI");
+        assert!(t.totals.qpi_crossings >= 1);
+        assert_eq!(t.totals.ddio_hits, 0, "remote writes cannot hit DDIO");
+    }
+
+    #[test]
+    fn tx_dma_reads_recorded_with_locality() {
+        let mut r = rig(SteeringMode::MacBased);
+        r.nic.enable_flight_recorder(16);
+        let payload = r.mem.alloc(N0, 4096);
+        r.nic
+            .post_tx(r.q0, TxDesc::simple(payload, 1448, flow(), false))
+            .unwrap();
+        let mut out = TxOutcome::default();
+        r.nic.tx_doorbell(
+            Time::ZERO,
+            Time::ZERO,
+            r.q0,
+            &mut r.fab,
+            &mut r.mem,
+            &mut out,
+        );
+        assert_eq!(out.packets.len(), 1);
+        let t = r.nic.flight_table().expect("recorder enabled");
+        assert!(t.totals.local_read_bytes >= 1448, "payload fetch was local");
+        assert_eq!(t.remote_bytes(), 0);
     }
 
     #[test]

@@ -61,6 +61,33 @@ impl FlowTuple {
         }
     }
 
+    /// A stable 64-bit identity for telemetry (FNV-1a over the 5-tuple in
+    /// canonical field order). Unlike [`FlowTuple::rss_hash`] this key is
+    /// part of the trace-artifact format, so its definition must never
+    /// change.
+    pub fn key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let proto = match self.proto {
+            Protocol::Tcp => 6u8,
+            Protocol::Udp => 17,
+        };
+        for b in self
+            .src_ip
+            .to_be_bytes()
+            .into_iter()
+            .chain(self.dst_ip.to_be_bytes())
+            .chain(self.src_port.to_be_bytes())
+            .chain(self.dst_port.to_be_bytes())
+            .chain([proto])
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// A deterministic hash used for RSS-style queue selection
     /// (Toeplitz-flavored mixing; exact polynomial irrelevant to the model).
     pub fn rss_hash(&self) -> u64 {
@@ -145,6 +172,15 @@ mod tests {
         let u = FlowTuple::udp(1, 1, 2, 2);
         assert_ne!(t, u);
         assert_ne!(t.rss_hash(), u.rss_hash());
+    }
+
+    #[test]
+    fn key_is_direction_sensitive_and_proto_sensitive() {
+        let f = FlowTuple::tcp(1, 100, 2, 200);
+        assert_eq!(f.key(), f.key());
+        assert_ne!(f.key(), f.reversed().key());
+        assert_ne!(f.key(), FlowTuple::udp(1, 100, 2, 200).key());
+        assert_ne!(f.key(), f.rss_hash(), "key and RSS hash are independent");
     }
 
     #[test]

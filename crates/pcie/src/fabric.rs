@@ -419,6 +419,18 @@ impl PcieFabric {
         self.ep(pf).map_or(0, |ep| ep.downstream.total_bytes())
     }
 
+    /// Publishes the fabric's counters into a per-run metric snapshot.
+    pub fn publish_metrics(&self, s: &mut telemetry::Snapshot) {
+        let c = self.counters();
+        s.push("pcie.invalid_refs", c.invalid_refs);
+        s.push("pcie.dropped_txns", c.dropped_txns);
+        s.push("pcie.retrains", c.retrains);
+        s.push("pcie.issued_txns", c.issued_txns);
+        s.push("pcie.ok_txns", c.ok_txns);
+        s.push("pcie.hot_removals", c.hot_removals);
+        s.push("pcie.reenumerations", c.reenumerations);
+    }
+
     /// Error and fault accounting.
     pub fn counters(&self) -> FabricCounters {
         FabricCounters {

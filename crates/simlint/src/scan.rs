@@ -23,7 +23,7 @@ const HASH_WRAPPER_FILE: &str = "crates/simcore/src/hash.rs";
 /// The zero-alloc hot-path list: (file suffix, steady-state functions).
 /// Mirrors DESIGN.md §6.2; the runtime `alloc_count` gate enforces the same
 /// contract dynamically over ~13k events.
-const HOT_FNS: [(&str, &[&str]); 4] = [
+const HOT_FNS: [(&str, &[&str]); 6] = [
     (
         "crates/kernel/src/host.rs",
         &[
@@ -47,6 +47,8 @@ const HOT_FNS: [(&str, &[&str]); 4] = [
         "crates/simcore/src/outbuf.rs",
         &["push", "drain", "clear", "as_slice"],
     ),
+    ("crates/telemetry/src/trace.rs", &["push"]),
+    ("crates/telemetry/src/flight.rs", &["record_dma"]),
 ];
 
 const MAP_TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];

@@ -1,0 +1,17 @@
+// Fixture: R5 true positive — allocations inside the telemetry record hot
+// paths. `TraceRing::push` and `FlightRecorder::record_dma` run once (or
+// thrice) per packet when enabled; their rings and row tables are sized at
+// enable time, so any allocation here is a regression. Scanned with the
+// virtual paths crates/telemetry/src/trace.rs and
+// crates/telemetry/src/flight.rs.
+impl Fixture {
+    pub fn push(&mut self, t: u64, a: u64) {
+        let label = format!("t={t}");
+        self.records.push((label, a));
+    }
+
+    pub fn record_dma(&mut self, flow: u64, bytes: u64) {
+        let row = Box::new((flow, bytes));
+        self.rows.push(row);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: R2 compliant twin — the exporter renders sim-time picoseconds
+// with integer arithmetic only; no host clock, no env, no float formatting.
+// Scanned with virtual path crates/telemetry/src/fixture.rs.
+pub fn export_header(retained: usize, t_ps: u64) -> String {
+    format!(
+        "# ioctopus-trace v1\n# retained={retained}\n{}.{:06}",
+        t_ps / 1_000_000,
+        t_ps % 1_000_000
+    )
+}

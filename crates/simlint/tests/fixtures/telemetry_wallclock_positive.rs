@@ -1,0 +1,10 @@
+// Fixture: R2 true positive — a trace exporter stamping host time into the
+// artifact. The telemetry crate is a *sim* crate (its output is part of the
+// determinism contract), so wall-clock reads must fire exactly as they do
+// in simcore. Scanned with virtual path crates/telemetry/src/fixture.rs.
+pub fn export_header() -> String {
+    let stamp = std::time::SystemTime::now();
+    let t0 = std::time::Instant::now();
+    let _jitter = std::env::var("TRACE_JITTER");
+    format!("# exported at {stamp:?} in {:?}", t0.elapsed())
+}

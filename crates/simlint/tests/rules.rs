@@ -19,6 +19,9 @@ const SIM_PATH: &str = "crates/simcore/src/fixture.rs";
 const LOOP_PATH: &str = "crates/ioctopus/src/fixture.rs";
 /// Virtual path aliasing the hot-path file list entry for `NetLoop`.
 const HOT_PATH: &str = "crates/ioctopus/src/netloop.rs";
+/// Virtual path placing a fixture inside the telemetry crate (a sim crate:
+/// trace artifacts are covered by the determinism contract).
+const TELEM_PATH: &str = "crates/telemetry/src/fixture.rs";
 
 fn fixture(name: &str) -> String {
     let p = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -142,6 +145,19 @@ fn wallclock_exempt_in_bench_crate() {
     ));
 }
 
+#[test]
+fn wallclock_fires_in_telemetry_exporters() {
+    // The telemetry crate is NOT a tool crate: its exporters feed the
+    // determinism suite, so host-time reads are violations there.
+    let rep = lint(TELEM_PATH, "telemetry_wallclock_positive.rs");
+    assert_fires(&rep, RuleId::Wallclock, 3);
+}
+
+#[test]
+fn wallclock_silent_on_sim_time_exporter() {
+    assert_clean(&lint(TELEM_PATH, "telemetry_wallclock_negative.rs"));
+}
+
 // R3 — unordered-iteration -------------------------------------------------
 
 #[test]
@@ -211,6 +227,23 @@ fn hot_path_alloc_pragma_suppresses() {
 fn hot_path_alloc_scoped_to_listed_files() {
     // The same allocating dispatch fn in a *non-hot* file is silent.
     assert_clean(&lint(LOOP_PATH, "hot_path_alloc_positive.rs"));
+}
+
+#[test]
+fn hot_path_alloc_covers_telemetry_record_paths() {
+    // `TraceRing::push` is hot in trace.rs; `record_dma` in flight.rs.
+    let rep = lint(
+        "crates/telemetry/src/trace.rs",
+        "telemetry_hot_path_alloc_positive.rs",
+    );
+    assert_fires(&rep, RuleId::HotPathAlloc, 1);
+    let rep = lint(
+        "crates/telemetry/src/flight.rs",
+        "telemetry_hot_path_alloc_positive.rs",
+    );
+    assert_fires(&rep, RuleId::HotPathAlloc, 1);
+    // Outside the listed files the same source is silent.
+    assert_clean(&lint(TELEM_PATH, "telemetry_hot_path_alloc_positive.rs"));
 }
 
 // R6 — pragma-hygiene ------------------------------------------------------

@@ -1,0 +1,159 @@
+//! `telemetry-dump` — pretty-print, diff and validate trace artifacts.
+//!
+//! ```text
+//! telemetry-dump print <run.trace>        pretty-print a native artifact
+//! telemetry-dump diff <a.trace> <b.trace> first divergence between two artifacts
+//! telemetry-dump check-json <run.json>    validate Chrome trace_event schema
+//! ```
+//!
+//! Exit status: 0 on success / identical / valid; 1 on divergence or
+//! validation failure; 2 on usage or I/O errors. Everything here runs on
+//! artifact files after the simulation has finished — no wallclock, no
+//! environment probing, so identical inputs give identical output.
+
+use std::process::ExitCode;
+
+use telemetry::export::{json, parse_native};
+use telemetry::trace::{DdioOutcome, DmaRoute, Domain, TraceKind, TraceRecord};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["print", path] => cmd_print(path),
+        ["diff", a, b] => cmd_diff(a, b),
+        ["check-json", path] => cmd_check_json(path),
+        _ => {
+            eprintln!(
+                "usage: telemetry-dump print <run.trace>\n\
+                 \x20      telemetry-dump diff <a.trace> <b.trace>\n\
+                 \x20      telemetry-dump check-json <run.json>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<(Domain, TraceRecord)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_native(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_print(path: &str) -> ExitCode {
+    let records = match load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{path}: {} records", records.len());
+    for (d, r) in &records {
+        println!("{}", render(*d, r));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(a_path: &str, b_path: &str) -> ExitCode {
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        if ra != rb {
+            println!("first divergence at record {i}:");
+            println!("  - {}", render(ra.0, &ra.1));
+            println!("  + {}", render(rb.0, &rb.1));
+            return ExitCode::FAILURE;
+        }
+    }
+    if a.len() != b.len() {
+        println!(
+            "common prefix identical; lengths differ: {} vs {} records",
+            a.len(),
+            b.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("identical: {} records", a.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_check_json(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match json::validate_chrome(&text) {
+        Ok(n) => {
+            println!("{path}: valid Chrome trace ({n} events)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One human-readable line per record, fixed-width time in microseconds.
+fn render(d: Domain, r: &TraceRecord) -> String {
+    let ps = r.t.as_ps();
+    let stamp = format!("{:>7}.{:06}us", ps / 1_000_000, ps % 1_000_000);
+    let body = match r.kind {
+        TraceKind::FlowSteered => format!(
+            "flow {:#x} -> pf{} q{}{}",
+            r.a,
+            r.b,
+            r.c,
+            if r.d == 1 { " (failover)" } else { "" }
+        ),
+        TraceKind::DmaRead | TraceKind::DmaWrite => {
+            let route = DmaRoute::unpack(r.b);
+            let dir = if r.kind == TraceKind::DmaWrite {
+                "write"
+            } else {
+                "read"
+            };
+            let ddio = match route.ddio {
+                DdioOutcome::Hit => " ddio-hit",
+                DdioOutcome::Miss => " ddio-miss",
+                DdioOutcome::NotApplicable => "",
+            };
+            format!(
+                "dma-{dir} {}B pf{} node{}->node{} {}{} flow {:#x} lands {}.{:06}us",
+                r.d,
+                route.pf,
+                route.src_node,
+                route.dst_node,
+                if route.local { "local" } else { "REMOTE" },
+                ddio,
+                r.a,
+                r.c / 1_000_000,
+                r.c % 1_000_000,
+            )
+        }
+        TraceKind::IrqDelivered => {
+            format!("irq q{} -> core {} (epoch {})", r.a, r.b, r.c)
+        }
+        TraceKind::ReconfigPhase => {
+            let phase = match r.b {
+                0 => "quiesce",
+                1 => "drain",
+                _ => "rebind",
+            };
+            format!(
+                "reconfig {phase} pf{} epoch {} -> {} mode",
+                r.a,
+                r.c,
+                if r.d == 1 { "NUDMA" } else { "uniform" }
+            )
+        }
+    };
+    format!("{stamp} [{:<6}] {body}", d.name())
+}

@@ -1,0 +1,333 @@
+//! The NUMA-locality flight recorder.
+//!
+//! A per-flow/per-PF ledger of where DMA bytes actually landed: on the
+//! PF's own node (local — the IOctopus claim) or across the
+//! interconnect (remote — legacy NUDMA), and whether DDIO absorbed the
+//! write into the LLC. The NIC device model feeds it at its DMA sites,
+//! because that is the one place that knows the flow, the PF, *and* the
+//! target address at the same time.
+//!
+//! The ledger is a pre-sized flat table scanned linearly (flow×PF
+//! cardinality is tiny in every experiment; no hashing, no ordering
+//! hazards) so steady-state recording is alloc-free; rows past the
+//! capacity aggregate into an overflow bucket rather than being lost.
+
+/// Per-row (and aggregate) DMA locality cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerCells {
+    /// DMA-read bytes that stayed on the PF's node.
+    pub local_read_bytes: u64,
+    /// DMA-read bytes that crossed the interconnect.
+    pub remote_read_bytes: u64,
+    /// DMA-write bytes that stayed on the PF's node.
+    pub local_write_bytes: u64,
+    /// DMA-write bytes that crossed the interconnect.
+    pub remote_write_bytes: u64,
+    /// DDIO-eligible writes that allocated into the LLC.
+    pub ddio_hits: u64,
+    /// DDIO-eligible writes that fell through to DRAM.
+    pub ddio_misses: u64,
+    /// Transactions that crossed the interconnect (QPI/UPI).
+    pub qpi_crossings: u64,
+}
+
+impl LedgerCells {
+    /// All bytes that stayed node-local.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_read_bytes + self.local_write_bytes
+    }
+
+    /// All bytes that crossed the interconnect.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_read_bytes + self.remote_write_bytes
+    }
+
+    /// Remote share of all recorded DMA bytes (0 when nothing recorded).
+    pub fn remote_share(&self) -> f64 {
+        let total = self.local_bytes() + self.remote_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_bytes() as f64 / total as f64
+        }
+    }
+
+    /// DDIO hit ratio over eligible writes (0 when none recorded).
+    pub fn ddio_hit_ratio(&self) -> f64 {
+        let total = self.ddio_hits + self.ddio_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ddio_hits as f64 / total as f64
+        }
+    }
+
+    fn absorb(&mut self, o: &LedgerCells) {
+        self.local_read_bytes += o.local_read_bytes;
+        self.remote_read_bytes += o.remote_read_bytes;
+        self.local_write_bytes += o.local_write_bytes;
+        self.remote_write_bytes += o.remote_write_bytes;
+        self.ddio_hits += o.ddio_hits;
+        self.ddio_misses += o.ddio_misses;
+        self.qpi_crossings += o.qpi_crossings;
+    }
+
+    /// Cell-wise difference (`self - earlier`), for windowed readings.
+    pub fn since(&self, earlier: &LedgerCells) -> LedgerCells {
+        LedgerCells {
+            local_read_bytes: self.local_read_bytes - earlier.local_read_bytes,
+            remote_read_bytes: self.remote_read_bytes - earlier.remote_read_bytes,
+            local_write_bytes: self.local_write_bytes - earlier.local_write_bytes,
+            remote_write_bytes: self.remote_write_bytes - earlier.remote_write_bytes,
+            ddio_hits: self.ddio_hits - earlier.ddio_hits,
+            ddio_misses: self.ddio_misses - earlier.ddio_misses,
+            qpi_crossings: self.qpi_crossings - earlier.qpi_crossings,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    flow: u64,
+    pf: u32,
+    cells: LedgerCells,
+}
+
+/// The flight recorder a NIC owns while enabled.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    rows: Vec<Row>,
+    cap: usize,
+    overflow: LedgerCells,
+    overflow_rows: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder tracking at most `cap` distinct `(flow, PF)`
+    /// rows (the one allocation it ever performs).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "flight recorder needs row capacity");
+        FlightRecorder {
+            rows: Vec::with_capacity(cap),
+            cap,
+            overflow: LedgerCells::default(),
+            overflow_rows: 0,
+        }
+    }
+
+    /// Records one DMA transaction (hot path: linear row scan over a
+    /// handful of flows, no allocation — rows were reserved up front).
+    ///
+    /// `ddio_hit` is `Some` only for DDIO-eligible accesses (payload
+    /// writes); reads and control-structure writes pass `None`.
+    #[inline]
+    pub fn record_dma(
+        &mut self,
+        flow: u64,
+        pf: u32,
+        bytes: u64,
+        write: bool,
+        local: bool,
+        ddio_hit: Option<bool>,
+    ) {
+        let found = self.rows.iter().position(|r| r.flow == flow && r.pf == pf);
+        let cells = match found {
+            Some(i) => &mut self.rows[i].cells,
+            None if self.rows.len() < self.cap => {
+                self.rows.push(Row {
+                    flow,
+                    pf,
+                    cells: LedgerCells::default(),
+                });
+                &mut self.rows.last_mut().expect("just pushed").cells
+            }
+            None => {
+                self.overflow_rows += 1;
+                &mut self.overflow
+            }
+        };
+        match (write, local) {
+            (true, true) => cells.local_write_bytes += bytes,
+            (true, false) => cells.remote_write_bytes += bytes,
+            (false, true) => cells.local_read_bytes += bytes,
+            (false, false) => cells.remote_read_bytes += bytes,
+        }
+        if !local {
+            cells.qpi_crossings += 1;
+        }
+        match ddio_hit {
+            Some(true) => cells.ddio_hits += 1,
+            Some(false) => cells.ddio_misses += 1,
+            None => {}
+        }
+    }
+
+    /// A sorted snapshot of the ledger (cold path).
+    pub fn table(&self) -> LocalityTable {
+        let mut rows: Vec<FlowPfLocality> = self
+            .rows
+            .iter()
+            .map(|r| FlowPfLocality {
+                flow: r.flow,
+                pf: r.pf,
+                cells: r.cells,
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.flow, r.pf));
+        let mut totals = self.overflow;
+        for r in &rows {
+            totals.absorb(&r.cells);
+        }
+        LocalityTable {
+            rows,
+            totals,
+            overflow_rows: self.overflow_rows,
+        }
+    }
+}
+
+/// One `(flow, PF)` row of a [`LocalityTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowPfLocality {
+    /// The flow's stable key (an FNV-1a fold of its 5-tuple).
+    pub flow: u64,
+    /// The PCIe function that carried the DMA.
+    pub pf: u32,
+    /// The locality cells.
+    pub cells: LedgerCells,
+}
+
+/// A sorted, totalled snapshot of the flight recorder — the locality
+/// table experiment results expose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityTable {
+    /// Per-`(flow, PF)` rows, sorted by `(flow, PF)`.
+    pub rows: Vec<FlowPfLocality>,
+    /// Aggregate over every row plus the overflow bucket.
+    pub totals: LedgerCells,
+    /// Transactions folded into the overflow bucket because the row
+    /// table was full.
+    pub overflow_rows: u64,
+}
+
+impl LocalityTable {
+    /// Total bytes that crossed the interconnect.
+    pub fn remote_bytes(&self) -> u64 {
+        self.totals.remote_bytes()
+    }
+
+    /// Aggregate cells over every row carried by `pf` (overflow excluded —
+    /// the overflow bucket has no PF attribution).
+    pub fn pf_cells(&self, pf: u32) -> LedgerCells {
+        let mut out = LedgerCells::default();
+        for r in self.rows.iter().filter(|r| r.pf == pf) {
+            out.absorb(&r.cells);
+        }
+        out
+    }
+
+    /// Total bytes that stayed node-local.
+    pub fn local_bytes(&self) -> u64 {
+        self.totals.local_bytes()
+    }
+
+    /// Renders the deterministic human table (also what the native
+    /// artifact embeds).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str(
+            "flow               pf  local_rd     remote_rd    local_wr     remote_wr    \
+             ddio_hit  ddio_miss qpi\n",
+        );
+        for r in &self.rows {
+            let c = &r.cells;
+            let _ = writeln!(
+                out,
+                "{:#018x} {:<3} {:<12} {:<12} {:<12} {:<12} {:<9} {:<9} {}",
+                r.flow,
+                r.pf,
+                c.local_read_bytes,
+                c.remote_read_bytes,
+                c.local_write_bytes,
+                c.remote_write_bytes,
+                c.ddio_hits,
+                c.ddio_misses,
+                c.qpi_crossings
+            );
+        }
+        let t = &self.totals;
+        let _ = writeln!(
+            out,
+            "TOTAL: local {} B, remote {} B (share {:.4}), ddio {}/{} , qpi {}",
+            t.local_bytes(),
+            t.remote_bytes(),
+            t.remote_share(),
+            t.ddio_hits,
+            t.ddio_hits + t.ddio_misses,
+            t.qpi_crossings
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_splits_by_locality_and_direction() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record_dma(7, 0, 1448, true, true, Some(true));
+        fr.record_dma(7, 0, 64, true, true, None);
+        fr.record_dma(7, 1, 1448, true, false, Some(false));
+        fr.record_dma(9, 0, 128, false, false, None);
+        let t = fr.table();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0].flow, 7);
+        assert_eq!(t.rows[0].pf, 0);
+        assert_eq!(t.rows[0].cells.local_write_bytes, 1512);
+        assert_eq!(t.rows[1].cells.remote_write_bytes, 1448);
+        assert_eq!(t.rows[1].cells.ddio_misses, 1);
+        assert_eq!(t.rows[2].cells.remote_read_bytes, 128);
+        assert_eq!(t.totals.remote_bytes(), 1576);
+        assert_eq!(t.totals.qpi_crossings, 2);
+        assert!(t.totals.ddio_hit_ratio() > 0.49 && t.totals.ddio_hit_ratio() < 0.51);
+    }
+
+    #[test]
+    fn overflow_aggregates_instead_of_dropping() {
+        let mut fr = FlightRecorder::new(2);
+        for flow in 0..5u64 {
+            fr.record_dma(flow, 0, 100, true, false, None);
+        }
+        let t = fr.table();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.overflow_rows, 3);
+        assert_eq!(t.totals.remote_bytes(), 500, "no bytes lost");
+    }
+
+    #[test]
+    fn per_pf_aggregation() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record_dma(7, 0, 100, true, true, None);
+        fr.record_dma(9, 0, 40, true, true, None);
+        fr.record_dma(7, 1, 60, true, false, None);
+        let t = fr.table();
+        assert_eq!(t.pf_cells(0).local_write_bytes, 140);
+        assert_eq!(t.pf_cells(1).remote_write_bytes, 60);
+        assert_eq!(t.pf_cells(2), LedgerCells::default());
+    }
+
+    #[test]
+    fn windowed_difference() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record_dma(1, 0, 100, true, true, None);
+        let before = fr.table().totals;
+        fr.record_dma(1, 0, 50, true, false, None);
+        let after = fr.table().totals;
+        let w = after.since(&before);
+        assert_eq!(w.local_write_bytes, 0);
+        assert_eq!(w.remote_write_bytes, 50);
+    }
+}
